@@ -1,0 +1,239 @@
+//! The pure move-and-forget process of Chaintreau, Fraigniaud and Lebhar
+//! (ICALP 2008) on an already-formed ring — the paper's reference [4] and
+//! the non-self-stabilizing baseline for experiment E2.
+//!
+//! On the 1-D ring the process is a lazy walk: each node owns a token
+//! starting at itself; each round the token steps to a uniformly chosen
+//! ring neighbour of its current position and is forgotten (reset to its
+//! origin) with probability φ(age). The stationary token displacement is
+//! the 1-harmonic distribution, which is what makes the graph navigable.
+//!
+//! Because the ring is fixed, the whole process reduces to integer
+//! arithmetic on ranks — no messages — so it runs orders of magnitude
+//! faster than the full protocol and serves as the ground truth the
+//! self-stabilized network must match.
+
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use swn_core::forget::phi;
+use swn_topology::paths::ring_distance;
+use swn_topology::Graph;
+
+/// State of the direct move-and-forget simulation.
+#[derive(Debug)]
+pub struct MoveForgetRing {
+    n: usize,
+    epsilon: f64,
+    /// Token position (ring rank) per node.
+    pos: Vec<usize>,
+    /// Token age per node.
+    age: Vec<u64>,
+    rng: StdRng,
+    forgets: u64,
+    max_age_seen: u64,
+    rounds: u64,
+    first_forget: Vec<Option<u64>>,
+}
+
+impl MoveForgetRing {
+    /// All tokens at their origins, age 0.
+    pub fn new(n: usize, epsilon: f64, seed: u64) -> Self {
+        assert!(n >= 4, "need at least 4 nodes, got {n}");
+        MoveForgetRing {
+            n,
+            epsilon,
+            pos: (0..n).collect(),
+            age: vec![0; n],
+            rng: StdRng::seed_from_u64(seed),
+            forgets: 0,
+            max_age_seen: 0,
+            rounds: 0,
+            first_forget: vec![None; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the ring is empty (never: `new` requires n ≥ 4).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// One synchronous round: every token moves ±1 and then faces the
+    /// forget check.
+    pub fn step(&mut self) {
+        self.rounds += 1;
+        for i in 0..self.n {
+            self.age[i] += 1;
+            self.pos[i] = if self.rng.random_bool(0.5) {
+                (self.pos[i] + 1) % self.n
+            } else {
+                (self.pos[i] + self.n - 1) % self.n
+            };
+            let p = phi(self.age[i], self.epsilon);
+            if p > 0.0 && self.rng.random::<f64>() < p {
+                self.max_age_seen = self.max_age_seen.max(self.age[i]);
+                self.pos[i] = i;
+                self.age[i] = 0;
+                self.forgets += 1;
+                if self.first_forget[i].is_none() {
+                    self.first_forget[i] = Some(self.rounds);
+                }
+            }
+        }
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Current link lengths (ring distance origin→token), zero-length
+    /// (at-origin) tokens excluded.
+    pub fn lengths(&self) -> Vec<usize> {
+        (0..self.n)
+            .filter_map(|i| {
+                let d = ring_distance(i, self.pos[i], self.n);
+                (d > 0).then_some(d)
+            })
+            .collect()
+    }
+
+    /// Total forget events so far.
+    pub fn forgets(&self) -> u64 {
+        self.forgets
+    }
+
+    /// Largest age observed at a forget event.
+    pub fn max_age_seen(&self) -> u64 {
+        self.max_age_seen
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Runs until every token has been forgotten at least once and
+    /// returns the round at which the last first-forget happened — the
+    /// quantity the proof of Theorem 4.22 bounds by O(n) w.h.p. ("after
+    /// at most O(n) steps all long-range links have been forgotten at
+    /// least once"). Returns `None` if `max_rounds` elapse first.
+    pub fn rounds_until_all_forgotten(&mut self, max_rounds: u64) -> Option<u64> {
+        while self.rounds < max_rounds {
+            if let Some(done) = self.all_forgotten_at() {
+                return Some(done);
+            }
+            self.step();
+        }
+        self.all_forgotten_at()
+    }
+
+    fn all_forgotten_at(&self) -> Option<u64> {
+        self.first_forget
+            .iter()
+            .map(|f| *f)
+            .collect::<Option<Vec<u64>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0))
+    }
+
+    /// The resulting graph: the cycle plus one directed long-range link
+    /// per node at the token's current position.
+    pub fn graph(&self) -> Graph {
+        let mut g = crate::ring_lattice::cycle(self.n);
+        for (i, &t) in self.pos.iter().enumerate() {
+            g.add_edge(i, t);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swn_topology::distribution::{ks_to_harmonic, log_log_slope};
+    use swn_topology::routing::evaluate_routing;
+
+    #[test]
+    fn tokens_stay_on_the_ring() {
+        let mut mf = MoveForgetRing::new(32, 0.1, 1);
+        mf.run(500);
+        for i in 0..32 {
+            assert!(mf.pos[i] < 32);
+        }
+    }
+
+    #[test]
+    fn forgets_happen_and_reset_age() {
+        let mut mf = MoveForgetRing::new(16, 0.1, 2);
+        mf.run(200);
+        assert!(mf.forgets() > 0, "200 rounds must produce forgets");
+        assert!(mf.max_age_seen() >= 3, "forgets only at age ≥ 3");
+    }
+
+    #[test]
+    fn stationary_lengths_follow_the_log_corrected_harmonic_law() {
+        let n = 512;
+        let mut mf = MoveForgetRing::new(n, 0.1, 3);
+        mf.run(20_000);
+        let mut lengths = Vec::new();
+        for _ in 0..300 {
+            mf.run(10);
+            lengths.extend(mf.lengths());
+        }
+        // The finite-time stationary law is 1/(d·ln^{1+ε} d) — harmonic up
+        // to a slowly varying factor. The corrected CDF must fit strictly
+        // better than the plain harmonic one, and the log–log slope must
+        // be a clear heavy-tailed power law near −1 (uniform would give 0,
+        // geometric −∞).
+        let ks_plain = ks_to_harmonic(&lengths, n / 2);
+        let ks_corr = swn_topology::distribution::ks_to_cdf(
+            &lengths,
+            &swn_topology::distribution::log_corrected_harmonic_cdf(n / 2, 0.1),
+        );
+        assert!(ks_corr < ks_plain, "corrected {ks_corr} vs plain {ks_plain}");
+        assert!(ks_corr < 0.30, "KS to corrected law = {ks_corr}");
+        let slope = log_log_slope(&lengths, n / 2).expect("enough bins");
+        assert!((-2.2..=-1.0).contains(&slope), "slope {slope}");
+    }
+
+    #[test]
+    fn converged_graph_routes_much_better_than_the_ring() {
+        let n = 2048;
+        let mut mf = MoveForgetRing::new(n, 0.1, 4);
+        mf.run(20_000);
+        let mf_stats = evaluate_routing(&mf.graph(), 300, 100_000, 5, None);
+        let ring_stats =
+            evaluate_routing(&crate::ring_lattice::cycle(n), 300, 100_000, 5, None);
+        assert_eq!(mf_stats.success_rate(), 1.0);
+        // Ring mean ≈ n/4 = 512; the move-and-forget overlay must cut it
+        // by well over 2× at this (finite) convergence horizon, trending
+        // to the O(ln^{2+ε} n) regime as warmup grows.
+        assert!(
+            mf_stats.mean_hops * 2.0 < ring_stats.mean_hops,
+            "mf {} vs ring {}",
+            mf_stats.mean_hops,
+            ring_stats.mean_hops
+        );
+        assert!(
+            mf_stats.mean_hops < 250.0,
+            "mean hops {} suspiciously high",
+            mf_stats.mean_hops
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = MoveForgetRing::new(64, 0.1, 9);
+        let mut b = MoveForgetRing::new(64, 0.1, 9);
+        a.run(100);
+        b.run(100);
+        assert_eq!(a.pos, b.pos);
+        assert_eq!(a.forgets(), b.forgets());
+    }
+}

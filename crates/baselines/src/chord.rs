@@ -1,0 +1,82 @@
+//! A Chord-style structured overlay (Stoica et al., SIGCOMM 2001).
+//!
+//! The paper contrasts small-world overlays with uniformly structured
+//! ones: Chord also routes in O(log n) hops but its rigid finger
+//! structure is what makes it "more vulnerable to attacks or failures".
+//! We build the idealized full Chord graph: successor/predecessor links
+//! plus fingers at every power-of-two distance.
+
+use swn_topology::Graph;
+
+/// The idealized Chord graph on `n` ranks: ring links plus fingers
+/// `i ↔ (i + 2^j) mod n` for `j = 1..⌊log2 n⌋`.
+///
+/// Fingers are stored in both directions. Real Chord's fingers are
+/// one-way because its metric is the one-way clockwise distance; our
+/// shared greedy router uses the bidirectional ring metric, and
+/// one-way fingers under a two-way metric would handicap Chord on
+/// anticlockwise routes. Each node knowing its finger *pointers and
+/// pointees* is the standard idealization (successor lists make the
+/// reverse links available in practice).
+pub fn chord(n: usize) -> Graph {
+    assert!(n >= 4, "need at least 4 nodes, got {n}");
+    let mut g = crate::ring_lattice::cycle(n);
+    let mut step = 2usize;
+    while step < n {
+        for i in 0..n {
+            g.add_edge(i, (i + step) % n);
+            g.add_edge((i + step) % n, i);
+        }
+        step *= 2;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swn_topology::connectivity::is_weakly_connected;
+    use swn_topology::routing::evaluate_routing;
+
+    #[test]
+    fn chord_is_connected() {
+        assert!(is_weakly_connected(&chord(128)));
+    }
+
+    #[test]
+    fn degree_is_logarithmic() {
+        for n in [64usize, 1024, 4096] {
+            let g = chord(n);
+            let log2n = (n as f64).log2();
+            let deg = g.out_degree(0) as f64;
+            // 2 ring links + ≈ 2·(log2 n − 1) bidirectional fingers.
+            assert!(
+                deg <= 2.0 * log2n + 2.0 && deg >= log2n,
+                "n={n}: degree {deg}"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_is_logarithmic() {
+        let n = 4096;
+        let stats = evaluate_routing(&chord(n), 500, 1000, 3, None);
+        assert_eq!(stats.success_rate(), 1.0);
+        // Greedy with bidirectional power-of-two fingers ≈ binary search:
+        // ≤ log2 n = 12 hops worst case, mean a small constant.
+        assert!(stats.max_hops <= 13, "max {}", stats.max_hops);
+        assert!(
+            (1.5..9.0).contains(&stats.mean_hops),
+            "mean {}",
+            stats.mean_hops
+        );
+    }
+
+    #[test]
+    fn chord_beats_plain_ring() {
+        let n = 1024;
+        let ring = evaluate_routing(&crate::ring_lattice::cycle(n), 200, 10_000, 1, None);
+        let ch = evaluate_routing(&chord(n), 200, 10_000, 1, None);
+        assert!(ch.mean_hops * 10.0 < ring.mean_hops);
+    }
+}

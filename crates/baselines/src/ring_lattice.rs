@@ -1,0 +1,64 @@
+//! Regular ring lattices — the "ordered" end of the Watts–Strogatz
+//! spectrum and the Θ(n)-routing baseline.
+
+use swn_topology::Graph;
+
+/// A ring of `n` nodes where each node is bidirectionally linked to its
+/// `k/2` nearest neighbours on each side (`k` must be even, ≥ 2, < n).
+pub fn ring_lattice(n: usize, k: usize) -> Graph {
+    assert!(k >= 2 && k % 2 == 0, "k must be even and ≥ 2, got {k}");
+    assert!(k < n, "k = {k} must be smaller than n = {n}");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (i + j) % n;
+            g.add_edge(i, v);
+            g.add_edge(v, i);
+        }
+    }
+    g
+}
+
+/// The simple bidirectional cycle (`k = 2`).
+pub fn cycle(n: usize) -> Graph {
+    ring_lattice(n, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swn_topology::connectivity::is_weakly_connected;
+    use swn_topology::paths::path_stats_exact;
+
+    #[test]
+    fn degrees_are_k() {
+        let g = ring_lattice(20, 4).undirected_view();
+        for u in 0..20 {
+            assert_eq!(g.out_degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn cycle_is_connected_with_linear_diameter() {
+        let g = cycle(30);
+        assert!(is_weakly_connected(&g));
+        assert_eq!(path_stats_exact(&g).diameter, 15);
+    }
+
+    #[test]
+    fn k4_halves_the_diameter() {
+        assert_eq!(path_stats_exact(&ring_lattice(32, 4)).diameter, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_rejected() {
+        let _ = ring_lattice(10, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than")]
+    fn k_too_large_rejected() {
+        let _ = ring_lattice(4, 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! The Watts–Strogatz rewiring model (Nature 1998).
+//!
+//! Start from a ring lattice with `k` neighbours per node; visit each
+//! node's `k/2` rightward lattice edges and, with probability `p`, rewire
+//! the far endpoint to a uniformly random node (avoiding self-loops and
+//! duplicates). `p = 0` is the regular lattice, `p = 1` essentially a
+//! random graph; the small-world regime — high clustering *and* short
+//! paths — appears for small positive `p`. Experiment E8 reproduces the
+//! famous C(p)/L(p) figure.
+
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use swn_topology::Graph;
+
+/// Generates WS(n, k, p). Edges are undirected (stored both ways).
+///
+/// # Panics
+/// Panics unless `k` is even, `2 ≤ k < n`, and `p ∈ [0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!(k >= 2 && k % 2 == 0, "k must be even and ≥ 2, got {k}");
+    assert!(k < n, "k = {k} must be smaller than n = {n}");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Adjacency as sets for O(1)-ish dup checks during rewiring.
+    let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
+    let connect = |adj: &mut Vec<std::collections::BTreeSet<usize>>, u: usize, v: usize| {
+        adj[u].insert(v);
+        adj[v].insert(u);
+    };
+    for i in 0..n {
+        for j in 1..=(k / 2) {
+            connect(&mut adj, i, (i + j) % n);
+        }
+    }
+    // Rewire pass, in the original's lattice-edge order.
+    for j in 1..=(k / 2) {
+        for i in 0..n {
+            let old = (i + j) % n;
+            if !adj[i].contains(&old) {
+                continue; // already rewired away by an earlier step
+            }
+            if rng.random_bool(p) {
+                // Draw a fresh endpoint; skip if the node is saturated.
+                if adj[i].len() >= n - 1 {
+                    continue;
+                }
+                let mut t = rng.random_range(0..n);
+                while t == i || adj[i].contains(&t) {
+                    t = rng.random_range(0..n);
+                }
+                adj[i].remove(&old);
+                adj[old].remove(&i);
+                connect(&mut adj, i, t);
+            }
+        }
+    }
+
+    let mut g = Graph::new(n);
+    for (u, vs) in adj.iter().enumerate() {
+        for &v in vs {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swn_topology::clustering::average_clustering;
+    use swn_topology::connectivity::is_weakly_connected;
+    use swn_topology::paths::path_stats_sampled;
+
+    #[test]
+    fn p_zero_is_the_lattice() {
+        let ws = watts_strogatz(30, 4, 0.0, 1);
+        let lat = crate::ring_lattice::ring_lattice(30, 4);
+        // Same edge sets (both stored bidirectionally).
+        let mut a: Vec<_> = ws.edges().collect();
+        let mut b: Vec<_> = lat.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edge_count_preserved_by_rewiring() {
+        for p in [0.0, 0.1, 0.5, 1.0] {
+            let g = watts_strogatz(100, 6, p, 42);
+            assert_eq!(g.m(), 100 * 6, "p={p}: rewiring must conserve edges");
+        }
+    }
+
+    #[test]
+    fn small_world_regime_high_c_low_l() {
+        let n = 400;
+        let k = 10;
+        let lattice = watts_strogatz(n, k, 0.0, 7);
+        let sw = watts_strogatz(n, k, 0.05, 7);
+        let c0 = average_clustering(&lattice);
+        let l0 = path_stats_sampled(&lattice, 60, 1).avg;
+        let c = average_clustering(&sw);
+        let l = path_stats_sampled(&sw, 60, 1).avg;
+        assert!(c / c0 > 0.6, "clustering should stay high: {}", c / c0);
+        assert!(l / l0 < 0.55, "path length should collapse: {}", l / l0);
+    }
+
+    #[test]
+    fn full_rewiring_destroys_clustering() {
+        let n = 400;
+        let k = 10;
+        let c0 = average_clustering(&watts_strogatz(n, k, 0.0, 3));
+        let c1 = average_clustering(&watts_strogatz(n, k, 1.0, 3));
+        assert!(c1 < 0.2 * c0, "C(1) = {c1} should be ≪ C(0) = {c0}");
+    }
+
+    #[test]
+    fn usually_connected_at_moderate_p() {
+        // WS is not connected with certainty, but at k=10 disconnection is
+        // vanishingly rare.
+        for seed in 0..5 {
+            assert!(is_weakly_connected(&watts_strogatz(200, 10, 0.3, seed)));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(
+            watts_strogatz(64, 4, 0.2, 5),
+            watts_strogatz(64, 4, 0.2, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn invalid_p_rejected() {
+        let _ = watts_strogatz(20, 4, 1.5, 1);
+    }
+}

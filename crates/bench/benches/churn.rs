@@ -1,0 +1,68 @@
+//! Bench for experiments E5/E6: the cost of recovering the sorted ring
+//! after a join or a leave on a stationary network.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swn_core::config::ProtocolConfig;
+use swn_core::id::NodeId;
+use swn_harness::testbed::harmonic_network;
+use swn_sim::churn::{join, leave};
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_join");
+    group.sample_size(10);
+    for n in [128usize, 512] {
+        group.bench_with_input(BenchmarkId::new("recover", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    let net = harmonic_network(n, ProtocolConfig::default(), seed);
+                    let ids = net.ids();
+                    let contact = ids[(seed as usize * 7) % ids.len()];
+                    let slot = (seed as usize * 13) % (ids.len() - 1);
+                    let new_id = NodeId::from_bits(
+                        ids[slot].bits() + (ids[slot + 1].bits() - ids[slot].bits()) / 2,
+                    );
+                    (net, new_id, contact)
+                },
+                |(mut net, new_id, contact)| {
+                    let rep = join(&mut net, new_id, contact, 100_000);
+                    assert!(rep.recovered());
+                    black_box(rep.rounds)
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_leave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_leave");
+    group.sample_size(10);
+    for n in [128usize, 512] {
+        group.bench_with_input(BenchmarkId::new("recover", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    let net = harmonic_network(n, ProtocolConfig::default(), seed);
+                    let ids = net.ids();
+                    let victim = ids[1 + (seed as usize * 11) % (ids.len() - 2)];
+                    (net, victim)
+                },
+                |(mut net, victim)| {
+                    let rep = leave(&mut net, victim, 200_000);
+                    assert!(rep.recovered());
+                    black_box(rep.rounds)
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join, bench_leave);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Bench for experiment E1: convergence to the sorted ring from each
+//! adversarial initial-state family (one benchmark per family, n = 64).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swn_core::config::ProtocolConfig;
+use swn_core::id::evenly_spaced_ids;
+use swn_sim::convergence::run_to_ring;
+use swn_sim::init::{generate, InitialTopology};
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_convergence");
+    group.sample_size(10);
+    let n = 64;
+    let ids = evenly_spaced_ids(n);
+    for family in [
+        InitialTopology::RandomSparse { extra: 3 },
+        InitialTopology::Star,
+        InitialTopology::Clique,
+        InitialTopology::RandomChain,
+        InitialTopology::TwoBlobs,
+        InitialTopology::CorruptedRing { corruptions: 8 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("to_sorted_ring", family.label()),
+            &family,
+            |b, &family| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut net = generate(family, &ids, ProtocolConfig::default(), seed)
+                        .into_network(seed);
+                    let rep = run_to_ring(&mut net, 200_000);
+                    assert!(rep.stabilized());
+                    black_box(rep.rounds_to_ring)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_round_cost(c: &mut Criterion) {
+    // The simulator's per-round cost on a stable network (E9's census
+    // inner loop).
+    let mut group = c.benchmark_group("e9_round_cost");
+    group.sample_size(20);
+    for n in [256usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("stable_round", n), &n, |b, &n| {
+            let ids = evenly_spaced_ids(n);
+            let mut net = swn_sim::Network::new(
+                swn_core::invariants::make_sorted_ring(&ids, ProtocolConfig::default()),
+                7,
+            );
+            net.run(50);
+            b.iter(|| black_box(net.step().total_sent()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence, bench_round_cost);
+criterion_main!(benches);

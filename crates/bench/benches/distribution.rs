@@ -1,0 +1,59 @@
+//! Benches for experiments E2 (move-and-forget / harmonic fit) and E8
+//! (Watts–Strogatz generation and metrics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swn_baselines::chaintreau::MoveForgetRing;
+use swn_baselines::watts_strogatz::watts_strogatz;
+use swn_topology::clustering::average_clustering;
+use swn_topology::distribution::{harmonic_cdf, ks_to_harmonic, sample_harmonic};
+use swn_topology::paths::path_stats_sampled;
+
+fn bench_move_forget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_distribution");
+    for n in [512usize, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("move_forget_100_rounds", n),
+            &n,
+            |b, &n| {
+                let mut mf = MoveForgetRing::new(n, 0.1, 9);
+                b.iter(|| {
+                    mf.run(100);
+                    black_box(mf.forgets())
+                });
+            },
+        );
+    }
+    group.bench_function("ks_to_harmonic_50k_samples", |b| {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let lengths: Vec<usize> = (0..50_000).map(|_| sample_harmonic(2048, &mut rng)).collect();
+        b.iter(|| black_box(ks_to_harmonic(&lengths, 2048)));
+    });
+    group.bench_function("harmonic_cdf_8192", |b| {
+        b.iter(|| black_box(harmonic_cdf(8192)));
+    });
+    group.finish();
+}
+
+fn bench_watts_strogatz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_watts_strogatz");
+    group.sample_size(20);
+    group.bench_function("generate_n1000_k10", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(watts_strogatz(1000, 10, 0.1, seed))
+        });
+    });
+    let g = watts_strogatz(1000, 10, 0.1, 5);
+    group.bench_function("clustering_n1000", |b| {
+        b.iter(|| black_box(average_clustering(&g)));
+    });
+    group.bench_function("path_length_sampled_n1000", |b| {
+        b.iter(|| black_box(path_stats_sampled(&g, 40, 1).avg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_move_forget, bench_watts_strogatz);
+criterion_main!(benches);

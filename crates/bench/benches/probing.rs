@@ -1,0 +1,54 @@
+//! Bench for experiment E4: deterministic probe replay on a stationary
+//! snapshot — the cost of verifying connectivity for every node's
+//! long-range link. Plus the message-level cost side of ablation A3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swn_core::config::ProtocolConfig;
+use swn_harness::probe_walk::replay_lrl_probe;
+use swn_harness::testbed::harmonic_network;
+
+fn bench_probe_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_probing");
+    for n in [512usize, 2048] {
+        let net = harmonic_network(n, ProtocolConfig::default(), 11);
+        let snap = net.snapshot();
+        group.bench_with_input(
+            BenchmarkId::new("replay_all_probes", n),
+            &snap,
+            |b, snap| {
+                b.iter(|| {
+                    let mut arrived = 0u32;
+                    for i in 0..snap.len() {
+                        if let Some(o) = replay_lrl_probe(snap, i) {
+                            if o.arrived_hops().is_some() {
+                                arrived += 1;
+                            }
+                        }
+                    }
+                    black_box(arrived)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_probe_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_probe_cadence");
+    group.sample_size(20);
+    for period in [1u64, 8] {
+        group.bench_with_input(BenchmarkId::new("round", period), &period, |b, &period| {
+            let cfg = ProtocolConfig {
+                probe_period: period,
+                ..Default::default()
+            };
+            let mut net = harmonic_network(512, cfg, 3);
+            b.iter(|| black_box(net.step().total_sent()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_replay, bench_probe_rounds);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench for experiment E7: failure/attack sweeps over the compared
+//! systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swn_harness::e7_robustness::{build_graph, Params, System};
+use swn_topology::robustness::{removal_mask, sweep, FailureMode};
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_robustness");
+    group.sample_size(10);
+    let p = Params::quick();
+    for sys in System::ALL {
+        let g = build_graph(sys, &p, 21);
+        group.bench_with_input(
+            BenchmarkId::new("random_sweep", sys.label()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    black_box(sweep(
+                        g,
+                        &p.fractions,
+                        FailureMode::Random,
+                        p.pairs,
+                        7,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_masks(c: &mut Criterion) {
+    let p = Params::quick();
+    let g = build_graph(System::Chord, &p, 21);
+    c.bench_function("e7_robustness/targeted_mask", |b| {
+        b.iter(|| black_box(removal_mask(&g, 0.3, FailureMode::TargetedHighestDegree, 3)));
+    });
+}
+
+criterion_group!(benches, bench_sweeps, bench_masks);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Bench for experiment E3: greedy routing across the systems.
+//! Graph construction happens in setup; the measured quantity is the
+//! routing evaluation itself, so the relative numbers mirror the
+//! mean-hops table (more hops = more time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swn_harness::e3_routing::{build_graph, Params, System};
+use swn_topology::routing::{evaluate_routing, greedy_route};
+
+fn bench_routing_systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_routing");
+    group.sample_size(10);
+    let p = Params {
+        sizes: vec![1024],
+        protocol_max_n: 1024,
+        pairs: 200,
+        epsilon: 0.1,
+    };
+    let n = 1024;
+    for sys in System::ALL {
+        let Some(g) = build_graph(sys, n, &p, 42) else {
+            continue;
+        };
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_200_pairs", sys.label()),
+            &g,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(evaluate_routing(g, p.pairs, 8 * n as u32, seed, None))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_route(c: &mut Criterion) {
+    let p = Params::quick();
+    let g = build_graph(System::Kleinberg, 4096, &p, 3).expect("kleinberg builds");
+    c.bench_function("e3_routing/single_greedy_route_4096", |b| {
+        let mut s = 0usize;
+        b.iter(|| {
+            s = (s + 997) % 4096;
+            let t = (s + 2048) % 4096;
+            black_box(greedy_route(&g, s, t, 100_000))
+        });
+    });
+}
+
+criterion_group!(benches, bench_routing_systems, bench_single_route);
+criterion_main!(benches);

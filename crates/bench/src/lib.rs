@@ -1,0 +1,5 @@
+//! Shared fixtures for the criterion benches (see `benches/`). Each bench
+//! target corresponds to one experiment of DESIGN.md §4; the heavy lifting
+//! lives in `swn-harness`, re-exported through this crate for convenience.
+
+pub use swn_harness::*;

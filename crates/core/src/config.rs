@@ -1,0 +1,88 @@
+//! Protocol parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the self-stabilizing small-world protocol.
+///
+/// The paper has a single explicit parameter, ε, controlling the forget
+/// probability φ(α). The two remaining knobs exist for the ablation
+/// experiments called out in DESIGN.md (they default to the paper's
+/// behaviour):
+///
+/// * [`lrl_shortcut`](Self::lrl_shortcut) — the paper *extends* plain
+///   linearization by routing `lin` messages over the long-range link when
+///   it is a shortcut (Algorithm 2). Turning this off recovers the plain
+///   linearization of Onus et al. / Nor et al. (ablation A1).
+/// * [`probe_period`](Self::probe_period) — the paper sends probing
+///   messages "each time a specific time interval passes"; the period is
+///   measured in regular-action executions (ablation A3).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// The ε of the forget probability φ(α); any positive value. The paper
+    /// calls it "a fixed (arbitrarily small) parameter".
+    pub epsilon: f64,
+    /// Use the long-range link as a forwarding shortcut inside
+    /// `linearize` (Algorithm 2's `m.id > p.lrl > p.r` branches).
+    pub lrl_shortcut: bool,
+    /// Execute the probing procedure every `probe_period`-th regular
+    /// action (1 = every regular action, the default).
+    pub probe_period: u64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            epsilon: 0.1,
+            lrl_shortcut: true,
+            probe_period: 1,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// Config with a given ε and everything else at the default.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        ProtocolConfig {
+            epsilon,
+            ..Default::default()
+        }
+    }
+
+    /// Validates the parameters; called by the simulator at network build
+    /// time so misconfiguration fails fast rather than mid-experiment.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return Err(format!("epsilon must be positive, got {}", self.epsilon));
+        }
+        if self.probe_period == 0 {
+            return Err("probe_period must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ProtocolConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(ProtocolConfig::with_epsilon(0.0).validate().is_err());
+        assert!(ProtocolConfig::with_epsilon(-1.0).validate().is_err());
+        assert!(ProtocolConfig::with_epsilon(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_probe_period() {
+        let cfg = ProtocolConfig {
+            probe_period: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

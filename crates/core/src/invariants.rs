@@ -1,0 +1,382 @@
+//! Phase predicates of the convergence analysis (Section IV).
+//!
+//! The proof splits stabilization into four phases, each with a property
+//! that, once established, holds in every later state:
+//!
+//! 1. **Connectivity** (Theorem 4.3): LCC is weakly connected and probing
+//!    stops adding edges;
+//! 2. **Linearization** (Theorem 4.9, Definition 4.8): LCP solves the
+//!    sorted-list problem;
+//! 3. **Ring** (Theorem 4.18, Definition 4.17): RCP solves the sorted-ring
+//!    problem;
+//! 4. **Small world** (Theorem 4.22): CP is the ring plus one long-range
+//!    link per node whose lengths follow the 1-harmonic distribution.
+//!
+//! Phases 1–3 are decidable predicates on a snapshot, implemented here.
+//! Phase 4 is a distributional statement; its *structural* part (every
+//! long-range link live on the ring) is checked here, the distributional
+//! part is measured by `swn-topology`'s harmonic-fit statistics.
+
+use crate::id::Extended;
+use crate::node::Node;
+use crate::views::{Snapshot, View};
+
+/// Simple union-find over `0..n`, used for weak-connectivity checks.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton components.
+    pub fn new(n: usize) -> Self {
+        assert!(u32::try_from(n).is_ok(), "too many nodes for UnionFind");
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s component (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let grand = self.parent[self.parent[x] as usize];
+            self.parent[x] = grand;
+            x = grand as usize;
+        }
+        x
+    }
+
+    /// Merges the components of `a` and `b`; returns true if they were
+    /// distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Number of components.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// True when everything is in one component (or `n ≤ 1`).
+    pub fn all_connected(&self) -> bool {
+        self.components <= 1
+    }
+}
+
+/// True iff the given view of the snapshot is weakly connected (edge
+/// directions ignored). The empty and singleton networks count as
+/// connected.
+pub fn weakly_connected(s: &Snapshot, view: View) -> bool {
+    let n = s.len();
+    if n <= 1 {
+        return true;
+    }
+    let mut uf = UnionFind::new(n);
+    for (a, b) in s.edges(view) {
+        uf.union(a, b);
+    }
+    uf.all_connected()
+}
+
+/// Definition 4.8: LCP solves the **sorted-list problem** — consecutive
+/// nodes (by id) point at each other, extremal nodes carry the `±∞`
+/// sentinels, and no other `l`/`r` links exist.
+pub fn is_sorted_list(s: &Snapshot) -> bool {
+    let order = s.sorted_indices();
+    let nodes = s.nodes();
+    let n = order.len();
+    if n == 0 {
+        return true;
+    }
+    for (pos, &i) in order.iter().enumerate() {
+        let node = &nodes[i];
+        let want_l = if pos == 0 {
+            Extended::NegInf
+        } else {
+            Extended::Fin(nodes[order[pos - 1]].id())
+        };
+        let want_r = if pos + 1 == n {
+            Extended::PosInf
+        } else {
+            Extended::Fin(nodes[order[pos + 1]].id())
+        };
+        if node.left() != want_l || node.right() != want_r {
+            return false;
+        }
+    }
+    true
+}
+
+/// Definition 4.17: RCP solves the **sorted-ring problem** — the sorted
+/// list plus mutually closing ring edges at the extremes. A single node
+/// trivially satisfies it; two or more nodes need `min.ring = max` and
+/// `max.ring = min`.
+pub fn is_sorted_ring(s: &Snapshot) -> bool {
+    if !is_sorted_list(s) {
+        return false;
+    }
+    let order = s.sorted_indices();
+    if order.len() <= 1 {
+        return true;
+    }
+    let nodes = s.nodes();
+    let min = &nodes[order[0]];
+    let max = &nodes[*order.last().unwrap()];
+    min.ring() == Some(max.id()) && max.ring() == Some(min.id())
+}
+
+/// Structural part of the small-world state (Theorem 4.22): the sorted
+/// ring holds and every long-range link points at an existing node
+/// (the distributional part is measured separately).
+pub fn is_small_world_structure(s: &Snapshot) -> bool {
+    is_sorted_ring(s)
+        && s.nodes()
+            .iter()
+            .all(|n| s.index_of(n.lrl()).is_some())
+}
+
+/// The stabilization phase a snapshot has reached (each phase implies the
+/// previous ones; phase 4's distributional part is not checked here).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Phase {
+    /// CC not even weakly connected — unrecoverable by Theorem 4.3's
+    /// hypothesis (should never happen from a legal initial state).
+    Disconnected,
+    /// Weakly connected, but LCC is not.
+    Connected,
+    /// Phase 1 done: LCC weakly connected.
+    LccConnected,
+    /// Phase 2 done: LCP is the sorted list.
+    SortedList,
+    /// Phase 3 done: RCP is the sorted ring.
+    SortedRing,
+}
+
+/// Classifies a snapshot into the highest phase it satisfies.
+pub fn classify(s: &Snapshot) -> Phase {
+    if !weakly_connected(s, View::Cc) {
+        return Phase::Disconnected;
+    }
+    if !weakly_connected(s, View::Lcc) {
+        return Phase::Connected;
+    }
+    if !is_sorted_list(s) {
+        return Phase::LccConnected;
+    }
+    if !is_sorted_ring(s) {
+        return Phase::SortedList;
+    }
+    Phase::SortedRing
+}
+
+/// Builds the canonical stable state for a set of nodes: the sorted ring
+/// with every long-range token at its origin. Used as the reference state
+/// in tests, benchmarks and the "start from stable" experiments.
+pub fn make_sorted_ring(
+    ids: &[crate::id::NodeId],
+    cfg: crate::config::ProtocolConfig,
+) -> Vec<Node> {
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let n = sorted.len();
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let l = if i == 0 {
+                Extended::NegInf
+            } else {
+                Extended::Fin(sorted[i - 1])
+            };
+            let r = if i + 1 == n {
+                Extended::PosInf
+            } else {
+                Extended::Fin(sorted[i + 1])
+            };
+            let ring = if n >= 2 && i == 0 {
+                Some(sorted[n - 1])
+            } else if n >= 2 && i + 1 == n {
+                Some(sorted[0])
+            } else {
+                None
+            };
+            Node::with_state(id, l, r, id, ring, cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use crate::id::{evenly_spaced_ids, NodeId};
+
+    fn id(f: f64) -> NodeId {
+        NodeId::from_fraction(f)
+    }
+
+    fn ring_snapshot(n: usize) -> Snapshot {
+        let ids = evenly_spaced_ids(n);
+        Snapshot::from_nodes(make_sorted_ring(&ids, ProtocolConfig::default()))
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert_eq!(uf.components(), 3);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+        uf.union(3, 4);
+        uf.union(2, 3);
+        assert!(uf.all_connected());
+    }
+
+    #[test]
+    fn canonical_ring_satisfies_all_phases() {
+        for n in [1usize, 2, 3, 10, 64] {
+            let s = ring_snapshot(n);
+            assert!(is_sorted_list(&s), "n={n} sorted list");
+            assert!(is_sorted_ring(&s), "n={n} sorted ring");
+            assert!(is_small_world_structure(&s), "n={n} small world");
+            assert_eq!(classify(&s), Phase::SortedRing, "n={n}");
+        }
+    }
+
+    #[test]
+    fn broken_list_detected() {
+        let ids = evenly_spaced_ids(5);
+        let mut nodes = make_sorted_ring(&ids, ProtocolConfig::default());
+        // Corrupt one right pointer: skip the next node.
+        let far = nodes[3].id();
+        nodes[1] = Node::with_state(
+            nodes[1].id(),
+            nodes[1].left(),
+            Extended::Fin(far),
+            nodes[1].id(),
+            None,
+            ProtocolConfig::default(),
+        );
+        let s = Snapshot::from_nodes(nodes);
+        assert!(!is_sorted_list(&s));
+        assert!(!is_sorted_ring(&s));
+        assert!(classify(&s) < Phase::SortedList);
+    }
+
+    #[test]
+    fn missing_ring_edge_detected() {
+        let ids = evenly_spaced_ids(4);
+        let mut nodes = make_sorted_ring(&ids, ProtocolConfig::default());
+        let min_id = nodes[0].id();
+        nodes[0] = Node::with_state(
+            min_id,
+            Extended::NegInf,
+            nodes[0].right(),
+            min_id,
+            None, // ring edge missing
+            ProtocolConfig::default(),
+        );
+        let s = Snapshot::from_nodes(nodes);
+        assert!(is_sorted_list(&s));
+        assert!(!is_sorted_ring(&s));
+        assert_eq!(classify(&s), Phase::SortedList);
+    }
+
+    #[test]
+    fn dangling_lrl_breaks_small_world_structure() {
+        let ids = evenly_spaced_ids(4);
+        let mut nodes = make_sorted_ring(&ids, ProtocolConfig::default());
+        // lrl pointing at an id that is not in the network.
+        nodes[2] = Node::with_state(
+            nodes[2].id(),
+            nodes[2].left(),
+            nodes[2].right(),
+            id(0.987654),
+            None,
+            ProtocolConfig::default(),
+        );
+        let s = Snapshot::from_nodes(nodes);
+        assert!(is_sorted_ring(&s));
+        assert!(!is_small_world_structure(&s));
+    }
+
+    #[test]
+    fn two_components_are_disconnected() {
+        let cfg = ProtocolConfig::default();
+        let mut nodes = make_sorted_ring(&[id(0.1), id(0.2)], cfg);
+        nodes.extend(make_sorted_ring(&[id(0.7), id(0.8)], cfg));
+        let s = Snapshot::from_nodes(nodes);
+        assert!(!weakly_connected(&s, View::Cc));
+        assert_eq!(classify(&s), Phase::Disconnected);
+        assert!(!is_sorted_list(&s), "l/r pointers skip across components");
+    }
+
+    #[test]
+    fn lrl_only_connectivity_is_connected_but_not_lcc() {
+        let cfg = ProtocolConfig::default();
+        // Two sorted pairs connected solely by one lrl.
+        let mut nodes = make_sorted_ring(&[id(0.1), id(0.2)], cfg);
+        nodes.extend(make_sorted_ring(&[id(0.7), id(0.8)], cfg));
+        nodes[0] = Node::with_state(
+            id(0.1),
+            Extended::NegInf,
+            Extended::Fin(id(0.2)),
+            id(0.8), // lrl bridges the components
+            Some(id(0.2)),
+            cfg,
+        );
+        let s = Snapshot::from_nodes(nodes);
+        assert!(weakly_connected(&s, View::Cc));
+        assert!(!weakly_connected(&s, View::Lcc));
+        assert_eq!(classify(&s), Phase::Connected);
+    }
+
+    #[test]
+    fn empty_and_singleton_networks_are_stable() {
+        let s = Snapshot::from_nodes(vec![]);
+        assert_eq!(classify(&s), Phase::SortedRing);
+        let s = ring_snapshot(1);
+        assert_eq!(classify(&s), Phase::SortedRing);
+    }
+
+    #[test]
+    fn make_sorted_ring_dedups_and_sorts() {
+        let nodes = make_sorted_ring(
+            &[id(0.5), id(0.1), id(0.5), id(0.9)],
+            ProtocolConfig::default(),
+        );
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[0].id(), id(0.1));
+        assert_eq!(nodes[2].ring(), Some(id(0.1)));
+    }
+
+    #[test]
+    fn phases_are_totally_ordered() {
+        assert!(Phase::Disconnected < Phase::Connected);
+        assert!(Phase::Connected < Phase::LccConnected);
+        assert!(Phase::LccConnected < Phase::SortedList);
+        assert!(Phase::SortedList < Phase::SortedRing);
+    }
+}

@@ -1,0 +1,304 @@
+//! The connectivity-graph views of Definition 4.2.
+//!
+//! The convergence proof reasons about six graphs over the node set:
+//!
+//! * **CP** — node connectivity: all *stored* links (`l`, `r`, `lrl`,
+//!   `ring`);
+//! * **CC** — channel connectivity: CP plus the temporary links implied by
+//!   every identifier sitting in a channel;
+//! * **LCP / LCC** — the restriction to the linearization process:
+//!   stored `l`/`r` links (LCP), plus `lin` messages (LCC);
+//! * **RCP / RCC** — LCP/LCC plus the ring edges (stored, and for RCC the
+//!   in-flight `ring` messages).
+//!
+//! A [`Snapshot`] is a frozen global state (taken by the simulator or the
+//! threaded runtime); the view extractors return edge lists over node
+//! *indices* in the snapshot, ready for the analysis crate.
+
+use crate::id::NodeId;
+use crate::message::Message;
+use crate::node::Node;
+use std::collections::BTreeMap;
+
+/// A frozen global state: every node's variables plus every channel's
+/// contents. `channels[i]` holds the messages waiting in `nodes[i]`'s
+/// channel.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    nodes: Vec<Node>,
+    channels: Vec<Vec<Message>>,
+    index: BTreeMap<NodeId, usize>,
+}
+
+/// Which connectivity view to extract from a snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum View {
+    /// All stored links.
+    Cp,
+    /// Stored links + all channel-implied links.
+    Cc,
+    /// Stored `l`/`r` links only.
+    Lcp,
+    /// LCP + `lin` messages.
+    Lcc,
+    /// LCP + stored ring edges.
+    Rcp,
+    /// LCC + stored ring edges + `ring` messages.
+    Rcc,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from node clones and their channel contents.
+    ///
+    /// # Panics
+    /// Panics if `channels.len() != nodes.len()` or node ids collide.
+    pub fn new(nodes: Vec<Node>, channels: Vec<Vec<Message>>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            channels.len(),
+            "one channel per node required"
+        );
+        let mut index = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            let prev = index.insert(n.id(), i);
+            assert!(prev.is_none(), "duplicate node id {:?}", n.id());
+        }
+        Snapshot {
+            nodes,
+            channels,
+            index,
+        }
+    }
+
+    /// Snapshot with empty channels (pure node-state view).
+    pub fn from_nodes(nodes: Vec<Node>) -> Self {
+        let channels = vec![Vec::new(); nodes.len()];
+        Snapshot::new(nodes, channels)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the snapshot holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nodes, in snapshot order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The channels, parallel to [`nodes`](Self::nodes).
+    pub fn channels(&self) -> &[Vec<Message>] {
+        &self.channels
+    }
+
+    /// Index of the node with identifier `id`, if present.
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    /// Node indices in ascending id order.
+    pub fn sorted_indices(&self) -> Vec<usize> {
+        self.index.values().copied().collect()
+    }
+
+    /// Total number of messages in flight.
+    pub fn messages_in_flight(&self) -> usize {
+        self.channels.iter().map(Vec::len).sum()
+    }
+
+    /// Extracts the directed edge list of a connectivity view. Edges point
+    /// from the node *storing/receiving* an identifier to that identifier's
+    /// node; identifiers of absent nodes (possible during churn) are
+    /// skipped.
+    pub fn edges(&self, view: View) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        let push = |edges: &mut Vec<(usize, usize)>, from: usize, to: NodeId| {
+            if let Some(j) = self.index_of(to) {
+                if j != from {
+                    edges.push((from, j));
+                }
+            }
+        };
+        for (i, n) in self.nodes.iter().enumerate() {
+            // Stored l/r links: in every view.
+            if let Some(l) = n.left().fin() {
+                push(&mut edges, i, l);
+            }
+            if let Some(r) = n.right().fin() {
+                push(&mut edges, i, r);
+            }
+            // Stored lrl: CP/CC only.
+            if matches!(view, View::Cp | View::Cc) {
+                push(&mut edges, i, n.lrl());
+            }
+            // Stored ring edge: CP/CC/RCP/RCC.
+            if matches!(view, View::Cp | View::Cc | View::Rcp | View::Rcc) {
+                if let Some(x) = n.ring() {
+                    push(&mut edges, i, x);
+                }
+            }
+        }
+        // Channel-implied temporary links.
+        if matches!(view, View::Cc | View::Lcc | View::Rcc) {
+            for (i, ch) in self.channels.iter().enumerate() {
+                for m in ch {
+                    let include = match view {
+                        View::Cc => true,
+                        View::Lcc => m.in_lcc(),
+                        View::Rcc => m.in_lcc() || matches!(m, Message::Ring(_)),
+                        _ => unreachable!(),
+                    };
+                    if include {
+                        for id in m.carried_ids() {
+                            push(&mut edges, i, id);
+                        }
+                    }
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use crate::id::Extended;
+
+    fn id(f: f64) -> NodeId {
+        NodeId::from_fraction(f)
+    }
+
+    /// Three-node sorted list 0.2 – 0.5 – 0.8 with assorted extras.
+    fn sample() -> Snapshot {
+        let cfg = ProtocolConfig::default();
+        let a = Node::with_state(
+            id(0.2),
+            Extended::NegInf,
+            Extended::Fin(id(0.5)),
+            id(0.8), // lrl
+            Some(id(0.8)),
+            cfg,
+        );
+        let b = Node::with_state(
+            id(0.5),
+            Extended::Fin(id(0.2)),
+            Extended::Fin(id(0.8)),
+            id(0.5),
+            None,
+            cfg,
+        );
+        let c = Node::with_state(
+            id(0.8),
+            Extended::Fin(id(0.5)),
+            Extended::PosInf,
+            id(0.2),
+            Some(id(0.2)),
+            cfg,
+        );
+        let channels = vec![
+            vec![Message::Lin(id(0.8))],
+            vec![Message::Ring(id(0.2))],
+            vec![Message::ProbR(id(0.8))],
+        ];
+        Snapshot::new(vec![a, b, c], channels)
+    }
+
+    #[test]
+    fn lcp_contains_only_list_links() {
+        let s = sample();
+        let mut e = s.edges(View::Lcp);
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn rcp_adds_ring_edges() {
+        let s = sample();
+        let e = s.edges(View::Rcp);
+        assert!(e.contains(&(0, 2)), "min.ring = max");
+        assert!(e.contains(&(2, 0)), "max.ring = min");
+        assert_eq!(e.len(), 6);
+    }
+
+    #[test]
+    fn cp_adds_lrl_edges() {
+        let s = sample();
+        let e = s.edges(View::Cp);
+        assert!(e.contains(&(0, 2)), "a.lrl = c");
+        assert!(e.contains(&(2, 0)), "c.lrl = a");
+        // b.lrl = self: skipped.
+        assert_eq!(e.len(), 8);
+    }
+
+    #[test]
+    fn lcc_includes_lin_but_not_other_messages() {
+        let s = sample();
+        let e = s.edges(View::Lcc);
+        // Channel of node 0 has Lin(0.8): edge (0, 2).
+        assert!(e.contains(&(0, 2)));
+        // Ring / ProbR messages must not contribute to LCC.
+        assert_eq!(e.len(), s.edges(View::Lcp).len() + 1);
+    }
+
+    #[test]
+    fn rcc_includes_ring_messages() {
+        let s = sample();
+        let e = s.edges(View::Rcc);
+        // node 1's channel has Ring(0.2): edge (1, 0) — already in LCP,
+        // plus node 0's Lin(0.8) and both stored ring edges.
+        assert!(e.contains(&(1, 0)));
+        assert_eq!(e.len(), s.edges(View::Lcc).len() + 2 + 1);
+    }
+
+    #[test]
+    fn cc_is_a_superset_of_every_other_view() {
+        let s = sample();
+        let cc: std::collections::HashSet<_> = s.edges(View::Cc).into_iter().collect();
+        for v in [View::Cp, View::Lcp, View::Lcc, View::Rcp, View::Rcc] {
+            for e in s.edges(v) {
+                assert!(cc.contains(&e), "{v:?} edge {e:?} missing from CC");
+            }
+        }
+    }
+
+    #[test]
+    fn absent_ids_are_skipped() {
+        let cfg = ProtocolConfig::default();
+        // Node pointing at a departed node 0.9.
+        let a = Node::with_state(
+            id(0.2),
+            Extended::NegInf,
+            Extended::Fin(id(0.9)),
+            id(0.2),
+            None,
+            cfg,
+        );
+        let s = Snapshot::from_nodes(vec![a]);
+        assert!(s.edges(View::Cc).is_empty());
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of(id(0.5)), Some(1));
+        assert_eq!(s.index_of(id(0.9)), None);
+        assert_eq!(s.sorted_indices(), vec![0, 1, 2]);
+        assert_eq!(s.messages_in_flight(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn rejects_duplicate_ids() {
+        let cfg = ProtocolConfig::default();
+        let a = Node::new(id(0.5), cfg);
+        let b = Node::new(id(0.5), cfg);
+        let _ = Snapshot::from_nodes(vec![a, b]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Experiment runner: regenerates every table of DESIGN.md §4.
+//!
+//! ```text
+//! experiments <id>... [--quick]
+//! experiments all [--quick]
+//! experiments list
+//! ```
+//!
+//! Ids: e1 e2 e3 e4 e5 e6 e7 e8 e9 a1 a2 a3. `--quick` switches every
+//! experiment to its reduced-scale preset (used by CI smoke runs); the
+//! default is the full scale reported in EXPERIMENTS.md.
+
+use std::time::Instant;
+use swn_harness::table::Table;
+use swn_harness::*;
+
+const ALL_IDS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "x1",
+];
+
+fn describe(id: &str) -> &'static str {
+    match id {
+        "e1" => "convergence from adversarial initial states (Thms 4.3/4.9/4.18)",
+        "e2" => "long-range link length distribution (Thm 4.22 / Fact 4.21)",
+        "e3" => "greedy routing hops vs n (Thm 4.22 / Lemma 4.23)",
+        "e4" => "probing hops vs distance (Thm 4.3 / Lemma 4.23)",
+        "e5" => "join integration cost (Thm 4.24)",
+        "e6" => "leave recovery cost (Thm 4.24)",
+        "e7" => "robustness: failures and attacks (Sec I / IV.G)",
+        "e8" => "Watts-Strogatz interpolation figure ([24])",
+        "e9" => "stable-state overhead and forget horizon (Sec IV.F)",
+        "a1" => "ablation: lrl shortcuts in linearization",
+        "a2" => "ablation: forget exponent eps",
+        "a3" => "ablation: probing cadence",
+        "x1" => "extension: multidimensional move-and-forget",
+        _ => "unknown",
+    }
+}
+
+fn run_one(id: &str, quick: bool) -> Vec<Table> {
+    match id {
+        "e1" => {
+            let p = if quick {
+                e1_convergence::Params::quick()
+            } else {
+                e1_convergence::Params::full()
+            };
+            vec![e1_convergence::run(&p)]
+        }
+        "e2" => {
+            let p = if quick {
+                e2_distribution::Params::quick()
+            } else {
+                e2_distribution::Params::full()
+            };
+            vec![e2_distribution::run(&p)]
+        }
+        "e3" => {
+            let p = if quick {
+                e3_routing::Params::quick()
+            } else {
+                e3_routing::Params::full()
+            };
+            vec![e3_routing::run(&p)]
+        }
+        "e4" => {
+            let p = if quick {
+                e4_probing::Params::quick()
+            } else {
+                e4_probing::Params::full()
+            };
+            vec![e4_probing::run(&p)]
+        }
+        "e5" => {
+            let p = if quick {
+                e5_join_leave::Params::quick()
+            } else {
+                e5_join_leave::Params::full()
+            };
+            vec![e5_join_leave::run_join(&p)]
+        }
+        "e6" => {
+            let p = if quick {
+                e5_join_leave::Params::quick()
+            } else {
+                e5_join_leave::Params::full()
+            };
+            vec![e5_join_leave::run_leave(&p)]
+        }
+        "e7" => {
+            let p = if quick {
+                e7_robustness::Params::quick()
+            } else {
+                e7_robustness::Params::full()
+            };
+            vec![e7_robustness::run(&p)]
+        }
+        "e8" => {
+            let p = if quick {
+                e8_watts_strogatz::Params::quick()
+            } else {
+                e8_watts_strogatz::Params::full()
+            };
+            vec![e8_watts_strogatz::run(&p)]
+        }
+        "e9" => {
+            let p = if quick {
+                e9_overhead::Params::quick()
+            } else {
+                e9_overhead::Params::full()
+            };
+            vec![e9_overhead::run(&p)]
+        }
+        "a1" => {
+            let p = if quick {
+                ablations::Params::quick()
+            } else {
+                ablations::Params::full()
+            };
+            vec![ablations::run_a1(&p)]
+        }
+        "a2" => {
+            let p = if quick {
+                ablations::Params::quick()
+            } else {
+                ablations::Params::full()
+            };
+            vec![ablations::run_a2(&p)]
+        }
+        "a3" => {
+            let p = if quick {
+                ablations::Params::quick()
+            } else {
+                ablations::Params::full()
+            };
+            vec![ablations::run_a3(&p)]
+        }
+        "x1" => {
+            let p = if quick {
+                x1_multidim::Params::quick()
+            } else {
+                x1_multidim::Params::full()
+            };
+            vec![x1_multidim::run(&p)]
+        }
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if ids.is_empty() || ids == ["list"] {
+        println!("usage: experiments <id>... [--quick] | all [--quick] | list\n");
+        for id in ALL_IDS {
+            println!("  {id}  {}", describe(id));
+        }
+        return;
+    }
+
+    let ids: Vec<&str> = if ids == ["all"] {
+        ALL_IDS.to_vec()
+    } else {
+        ids
+    };
+
+    for id in ids {
+        let start = Instant::now();
+        eprintln!(
+            ">>> {id} ({}) — {}",
+            if quick { "quick" } else { "full" },
+            describe(id)
+        );
+        for table in run_one(id, quick) {
+            table.print();
+        }
+        eprintln!("<<< {id} finished in {:.1?}\n", start.elapsed());
+    }
+}

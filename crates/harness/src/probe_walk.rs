@@ -1,0 +1,222 @@
+//! Deterministic probe-path replay.
+//!
+//! Given a frozen snapshot, the forwarding decisions of Algorithms 5/6/10
+//! are a pure function of node states, so a probe's path can be replayed
+//! hop by hop without running the simulator — exactly what Lemma 4.23's
+//! hop-count experiment (E4) needs.
+
+use swn_core::id::{Extended, NodeId};
+use swn_core::views::Snapshot;
+
+/// Outcome of replaying one probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// The probe reached the long-range link's endpoint.
+    Arrived {
+        /// Forwarding hops taken.
+        hops: u32,
+    },
+    /// The probe got stuck and would have created a repair edge at the
+    /// given hop count (never happens in the stable state — Theorem 4.3).
+    Repaired {
+        /// Hops taken before the walk got stuck.
+        hops: u32,
+    },
+    /// The walk exceeded `2n` hops (indicates a cyclic corrupt state).
+    Diverged,
+}
+
+impl ProbeOutcome {
+    /// Hops for successfully delivered probes.
+    pub fn arrived_hops(self) -> Option<u32> {
+        match self {
+            ProbeOutcome::Arrived { hops } => Some(hops),
+            _ => None,
+        }
+    }
+}
+
+/// Replays the probe a node would launch toward its long-range link.
+/// Returns `None` when the token is at its origin (no probe) or the
+/// endpoint id is absent from the snapshot.
+pub fn replay_lrl_probe(s: &Snapshot, origin_idx: usize) -> Option<ProbeOutcome> {
+    let origin = &s.nodes()[origin_idx];
+    let dest = origin.lrl();
+    if dest == origin.id() || s.index_of(dest).is_none() {
+        return None;
+    }
+    Some(walk(s, origin_idx, dest))
+}
+
+/// Replays a probe from `origin_idx` toward an arbitrary existing `dest`
+/// (used for the ring-edge probes and for custom distance buckets).
+pub fn replay_probe_to(s: &Snapshot, origin_idx: usize, dest: NodeId) -> ProbeOutcome {
+    walk(s, origin_idx, dest)
+}
+
+fn walk(s: &Snapshot, origin_idx: usize, dest: NodeId) -> ProbeOutcome {
+    let max_hops = (2 * s.len() + 4) as u32;
+    let mut hops = 0u32;
+    let origin = &s.nodes()[origin_idx];
+
+    // Origination step (Algorithm 10): hand to the neighbour on the
+    // destination's side, or repair if the destination is in our own gap.
+    let mut cur = if dest > origin.id() {
+        match origin.right() {
+            Extended::Fin(rv) if dest >= rv => rv,
+            _ => return ProbeOutcome::Repaired { hops },
+        }
+    } else {
+        match origin.left() {
+            Extended::Fin(lv) if dest <= lv => lv,
+            _ => return ProbeOutcome::Repaired { hops },
+        }
+    };
+    hops += 1;
+
+    // Forwarding steps (Algorithms 5/6).
+    loop {
+        if cur == dest {
+            return ProbeOutcome::Arrived { hops };
+        }
+        if hops >= max_hops {
+            return ProbeOutcome::Diverged;
+        }
+        let Some(vi) = s.index_of(cur) else {
+            return ProbeOutcome::Diverged; // dangling pointer mid-path
+        };
+        let v = &s.nodes()[vi];
+        let next = if dest > v.id() {
+            if dest >= v.lrl() && Extended::Fin(v.lrl()) > v.right() {
+                v.lrl()
+            } else {
+                match v.right() {
+                    Extended::Fin(rv) if dest >= rv => rv,
+                    _ => return ProbeOutcome::Repaired { hops },
+                }
+            }
+        } else if dest < v.id() {
+            if dest <= v.lrl() && Extended::Fin(v.lrl()) < v.left() {
+                v.lrl()
+            } else {
+                match v.left() {
+                    Extended::Fin(lv) if dest <= lv => lv,
+                    _ => return ProbeOutcome::Repaired { hops },
+                }
+            }
+        } else {
+            return ProbeOutcome::Arrived { hops };
+        };
+        cur = next;
+        hops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swn_core::config::ProtocolConfig;
+    use swn_core::id::evenly_spaced_ids;
+    use swn_core::invariants::make_sorted_ring;
+    use swn_core::node::Node;
+
+    fn ring_snapshot_with_lrl(n: usize, lrls: &[(usize, usize)]) -> Snapshot {
+        let ids = evenly_spaced_ids(n);
+        let cfg = ProtocolConfig::default();
+        let mut nodes = make_sorted_ring(&ids, cfg);
+        for &(i, t) in lrls {
+            nodes[i] = Node::with_state(
+                nodes[i].id(),
+                nodes[i].left(),
+                nodes[i].right(),
+                ids[t],
+                nodes[i].ring(),
+                cfg,
+            );
+        }
+        Snapshot::from_nodes(nodes)
+    }
+
+    #[test]
+    fn origin_token_has_no_probe() {
+        let s = ring_snapshot_with_lrl(8, &[]);
+        for i in 0..8 {
+            assert_eq!(replay_lrl_probe(&s, i), None);
+        }
+    }
+
+    #[test]
+    fn probe_walks_short_links_to_destination() {
+        let s = ring_snapshot_with_lrl(16, &[(2, 7)]);
+        // Rank distance 5 via r-links only.
+        assert_eq!(
+            replay_lrl_probe(&s, 2),
+            Some(ProbeOutcome::Arrived { hops: 5 })
+        );
+    }
+
+    #[test]
+    fn probe_walks_leftward_too() {
+        let s = ring_snapshot_with_lrl(16, &[(9, 3)]);
+        assert_eq!(
+            replay_lrl_probe(&s, 9),
+            Some(ProbeOutcome::Arrived { hops: 6 })
+        );
+    }
+
+    #[test]
+    fn probe_uses_intermediate_shortcuts() {
+        // Node 2 probes to 12; node 4 has a shortcut to 10.
+        let s = ring_snapshot_with_lrl(16, &[(2, 12), (4, 10)]);
+        // Path: 2→3→4 —lrl→ 10→11→12 = 5 hops instead of 10.
+        assert_eq!(
+            replay_lrl_probe(&s, 2),
+            Some(ProbeOutcome::Arrived { hops: 5 })
+        );
+    }
+
+    #[test]
+    fn overshooting_shortcut_is_skipped() {
+        // Node 4's shortcut goes past the destination: must not be taken.
+        let s = ring_snapshot_with_lrl(16, &[(2, 8), (4, 13)]);
+        assert_eq!(
+            replay_lrl_probe(&s, 2),
+            Some(ProbeOutcome::Arrived { hops: 6 })
+        );
+    }
+
+    #[test]
+    fn broken_chain_reports_repair() {
+        let ids = evenly_spaced_ids(8);
+        let cfg = ProtocolConfig::default();
+        let mut nodes = make_sorted_ring(&ids, cfg);
+        // Cut the list between ranks 4 and 5: node 4's r skips to 6.
+        nodes[4] = Node::with_state(
+            ids[4],
+            swn_core::id::Extended::Fin(ids[3]),
+            swn_core::id::Extended::Fin(ids[6]),
+            ids[4],
+            None,
+            cfg,
+        );
+        // Probe from 2 to 5 must fall into the gap at node 4.
+        let s = Snapshot::from_nodes(nodes);
+        assert_eq!(
+            replay_probe_to(&s, 2, ids[5]),
+            ProbeOutcome::Repaired { hops: 2 }
+        );
+    }
+
+    #[test]
+    fn stable_state_probes_never_repair() {
+        let s = ring_snapshot_with_lrl(32, &[(0, 20), (5, 31), (17, 2), (30, 1)]);
+        for i in 0..32 {
+            if let Some(outcome) = replay_lrl_probe(&s, i) {
+                assert!(
+                    matches!(outcome, ProbeOutcome::Arrived { .. }),
+                    "node {i}: {outcome:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The per-node message channel of the computational model (Section II.B).
+//!
+//! Channels have unbounded capacity, lose no messages, and do **not**
+//! preserve order. The only liveness guarantee is *fair receipt*: a
+//! message that is in the channel is eventually received. The simulator
+//! enforces fairness with an age cap — a delivery policy may delay a
+//! message for at most [`DeliveryPolicy::max_delay`] rounds, after which
+//! delivery is forced.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt as _};
+use serde::{Deserialize, Serialize};
+use swn_core::message::Message;
+
+/// How the scheduler decides which queued messages to deliver each round.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DeliveryPolicy {
+    /// Deliver every queued message each round, in random order. This is
+    /// the synchronous-round abstraction used for *measuring* convergence
+    /// (DESIGN.md deviation #7).
+    Immediate,
+    /// Adversarial asynchrony: each round each message is delivered with
+    /// probability `p_deliver`, but never delayed more than `max_delay`
+    /// rounds (fair receipt). Order is randomized.
+    RandomDelay {
+        /// Per-round delivery probability for each queued message.
+        p_deliver: f64,
+        /// Fairness bound: maximal rounds a message may be delayed.
+        max_delay: u64,
+    },
+}
+
+impl DeliveryPolicy {
+    /// The fairness bound: the maximal number of rounds a message may sit
+    /// in a channel under this policy.
+    pub fn max_delay(&self) -> u64 {
+        match *self {
+            DeliveryPolicy::Immediate => 0,
+            DeliveryPolicy::RandomDelay { max_delay, .. } => max_delay,
+        }
+    }
+
+    /// Validates policy parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if let DeliveryPolicy::RandomDelay { p_deliver, .. } = *self {
+            if !(0.0..=1.0).contains(&p_deliver) || p_deliver == 0.0 {
+                return Err(format!(
+                    "p_deliver must be in (0, 1], got {p_deliver}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeliveryPolicy {
+    fn default() -> Self {
+        DeliveryPolicy::Immediate
+    }
+}
+
+/// A message waiting in a channel, tagged with its enqueue round so the
+/// fairness bound can be enforced.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Queued {
+    enqueued_at: u64,
+    msg: Message,
+}
+
+/// An unbounded, unordered, lossless message channel.
+#[derive(Clone, Debug, Default)]
+pub struct Channel {
+    queue: Vec<Queued>,
+}
+
+impl Channel {
+    /// An empty channel.
+    pub fn new() -> Self {
+        Channel { queue: Vec::new() }
+    }
+
+    /// Enqueues a message at round `round`.
+    pub fn push(&mut self, msg: Message, round: u64) {
+        self.queue.push(Queued {
+            enqueued_at: round,
+            msg,
+        });
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Iterates over the queued messages (for snapshots).
+    pub fn messages(&self) -> impl Iterator<Item = &Message> {
+        self.queue.iter().map(|q| &q.msg)
+    }
+
+    /// Takes the messages to deliver in round `now` under `policy`,
+    /// shuffled (channels are unordered). Only messages enqueued *before*
+    /// `now` are eligible, so a message is never received in the same
+    /// round it was sent — receipt strictly follows transmission.
+    pub fn take_deliverable<R: Rng + ?Sized>(
+        &mut self,
+        now: u64,
+        policy: DeliveryPolicy,
+        rng: &mut R,
+    ) -> Vec<Message> {
+        let mut out = Vec::new();
+        self.queue.retain(|q| {
+            if q.enqueued_at >= now {
+                return true;
+            }
+            let deliver = match policy {
+                DeliveryPolicy::Immediate => true,
+                DeliveryPolicy::RandomDelay {
+                    p_deliver,
+                    max_delay,
+                } => now - q.enqueued_at > max_delay || rng.random_bool(p_deliver),
+            };
+            if deliver {
+                out.push(q.msg);
+                false
+            } else {
+                true
+            }
+        });
+        out.shuffle(rng);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use swn_core::id::NodeId;
+
+    fn lin(f: f64) -> Message {
+        Message::Lin(NodeId::from_fraction(f))
+    }
+
+    #[test]
+    fn immediate_policy_delivers_everything_older_than_now() {
+        let mut ch = Channel::new();
+        ch.push(lin(0.1), 0);
+        ch.push(lin(0.2), 0);
+        ch.push(lin(0.3), 1); // sent in the current round: not yet eligible
+        let mut rng = StdRng::seed_from_u64(1);
+        let got = ch.take_deliverable(1, DeliveryPolicy::Immediate, &mut rng);
+        assert_eq!(got.len(), 2);
+        assert_eq!(ch.len(), 1);
+    }
+
+    #[test]
+    fn same_round_send_not_delivered() {
+        let mut ch = Channel::new();
+        ch.push(lin(0.1), 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(ch
+            .take_deliverable(5, DeliveryPolicy::Immediate, &mut rng)
+            .is_empty());
+        assert_eq!(
+            ch.take_deliverable(6, DeliveryPolicy::Immediate, &mut rng)
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn random_delay_respects_fairness_bound() {
+        let policy = DeliveryPolicy::RandomDelay {
+            p_deliver: 0.0001, // essentially never deliver voluntarily
+            max_delay: 3,
+        };
+        let mut ch = Channel::new();
+        ch.push(lin(0.1), 0);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut delivered_at = None;
+        for now in 1..=10 {
+            if !ch.take_deliverable(now, policy, &mut rng).is_empty() {
+                delivered_at = Some(now);
+                break;
+            }
+        }
+        // Forced delivery at the latest when now − 0 > 3, i.e. round 4.
+        assert_eq!(delivered_at, Some(4));
+    }
+
+    #[test]
+    fn random_delay_delivers_probabilistically() {
+        let policy = DeliveryPolicy::RandomDelay {
+            p_deliver: 0.5,
+            max_delay: 100,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut delivered_round_1 = 0;
+        const TRIALS: usize = 2000;
+        for _ in 0..TRIALS {
+            let mut ch = Channel::new();
+            ch.push(lin(0.1), 0);
+            if !ch.take_deliverable(1, policy, &mut rng).is_empty() {
+                delivered_round_1 += 1;
+            }
+        }
+        let frac = delivered_round_1 as f64 / TRIALS as f64;
+        assert!((0.45..0.55).contains(&frac), "p=0.5 delivery frac {frac}");
+    }
+
+    #[test]
+    fn shuffle_changes_order_but_not_content() {
+        let mut ch = Channel::new();
+        for i in 1..=20 {
+            ch.push(lin(i as f64 / 100.0), 0);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let got = ch.take_deliverable(1, DeliveryPolicy::Immediate, &mut rng);
+        assert_eq!(got.len(), 20);
+        let sorted_in: Vec<_> = (1..=20).map(|i| lin(i as f64 / 100.0)).collect();
+        assert_ne!(got, sorted_in, "delivery order should be shuffled");
+        let mut got_sorted = got.clone();
+        got_sorted.sort_by_key(|m| match m {
+            Message::Lin(id) => id.bits(),
+            _ => 0,
+        });
+        assert_eq!(got_sorted, sorted_in);
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(DeliveryPolicy::Immediate.validate().is_ok());
+        assert!(DeliveryPolicy::RandomDelay {
+            p_deliver: 0.5,
+            max_delay: 10
+        }
+        .validate()
+        .is_ok());
+        assert!(DeliveryPolicy::RandomDelay {
+            p_deliver: 0.0,
+            max_delay: 10
+        }
+        .validate()
+        .is_err());
+        assert!(DeliveryPolicy::RandomDelay {
+            p_deliver: 1.5,
+            max_delay: 10
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Topology updates: joining and leaving nodes (Section IV.G).
+//!
+//! **Join**: a new node enters knowing one arbitrary contact; the
+//! linearization process carries it to its sorted position in
+//! O(ln^(2+ε) n) steps (Theorem 4.24, first part).
+//!
+//! **Leave**: a node vanishes together with its links. Its former
+//! neighbours detect the dangling pointers (modelled here as bounce
+//! detection when a message's destination no longer exists) and reset
+//! them; the first probe whose long-range link crosses the gap fails and
+//! repairs it, after which linearization closes the ring again in
+//! O(ln^(2+ε) n) steps (Theorem 4.24, second part).
+
+use crate::network::Network;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use serde::{Deserialize, Serialize};
+use swn_core::config::ProtocolConfig;
+use swn_core::id::{Extended, NodeId};
+use swn_core::invariants::is_sorted_ring;
+use swn_core::message::Message;
+use swn_core::node::Node;
+
+/// Outcome of a churn-recovery measurement.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Rounds until the sorted ring held again.
+    pub rounds: Option<u64>,
+    /// Messages sent during recovery.
+    pub messages: u64,
+    /// Messages that carried the tracked identifier (joins only),
+    /// including the newcomer's own steady advertisements.
+    pub tracked_messages: u64,
+    /// Distinct nodes that forwarded the tracked identifier in `lin`
+    /// messages (joins only): the newcomer's integration path — the
+    /// paper's "steps" of Theorem 4.24.
+    pub path_nodes: usize,
+}
+
+impl RecoveryReport {
+    /// Did the network recover within the round budget?
+    pub fn recovered(&self) -> bool {
+        self.rounds.is_some()
+    }
+}
+
+/// Injects a new node that knows only `contact`, then runs until the
+/// sorted ring holds again (counting the new node). The newcomer stores
+/// the contact in the appropriate neighbour slot and announces itself,
+/// exactly "initially connected with an arbitrary node".
+pub fn join(net: &mut Network, new_id: NodeId, contact: NodeId, max_rounds: u64) -> RecoveryReport {
+    let cfg = *net
+        .node(contact)
+        .expect("join contact must be a live node")
+        .config();
+    let (l, r) = if contact < new_id {
+        (Extended::Fin(contact), Extended::PosInf)
+    } else {
+        (Extended::NegInf, Extended::Fin(contact))
+    };
+    let newcomer = Node::with_state(new_id, l, r, new_id, None, cfg);
+    assert!(net.insert_node(newcomer), "id {new_id:?} already present");
+    net.send_external(contact, Message::Lin(new_id));
+    net.track_id(Some(new_id));
+    let mut report = measure_recovery(net, max_rounds);
+    report.path_nodes = net.tracked_forwarder_count();
+    net.track_id(None);
+    report
+}
+
+/// Removes `victim` and models departure detection: every node holding the
+/// victim's id has that variable reset (dangling `l`/`r` become `±∞`,
+/// dangling `lrl` returns to origin, dangling `ring` is cleared), then
+/// runs until the sorted ring holds again.
+pub fn leave(net: &mut Network, victim: NodeId, max_rounds: u64) -> RecoveryReport {
+    let removed = net.remove_node(victim);
+    assert!(removed.is_some(), "victim {victim:?} not in network");
+    let ids = net.ids();
+    for id in ids {
+        let Some(node) = net.node(id) else { continue };
+        let mut l = node.left();
+        let mut r = node.right();
+        let mut lrl = node.lrl();
+        let mut ring = node.ring();
+        let mut dirty = false;
+        if l == Extended::Fin(victim) {
+            l = Extended::NegInf;
+            dirty = true;
+        }
+        if r == Extended::Fin(victim) {
+            r = Extended::PosInf;
+            dirty = true;
+        }
+        if lrl == victim {
+            lrl = id;
+            dirty = true;
+        }
+        if ring == Some(victim) {
+            ring = None;
+            dirty = true;
+        }
+        if dirty {
+            let cfg = *node.config();
+            net.remove_node(id);
+            net.insert_node(Node::with_state(id, l, r, lrl, ring, cfg));
+        }
+    }
+    measure_recovery(net, max_rounds)
+}
+
+/// Picks a uniformly random non-extremal victim (the paper's leave
+/// analysis closes an interior gap; removing an extremum is the easier
+/// case) and removes it.
+pub fn leave_random(net: &mut Network, seed: u64, max_rounds: u64) -> (NodeId, RecoveryReport) {
+    let ids = net.ids();
+    assert!(ids.len() >= 4, "need at least 4 nodes to remove an interior one");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let victim = ids[rng.random_range(1..ids.len() - 1)];
+    let report = leave(net, victim, max_rounds);
+    (victim, report)
+}
+
+fn measure_recovery(net: &mut Network, max_rounds: u64) -> RecoveryReport {
+    let mut report = RecoveryReport::default();
+    if is_sorted_ring(&net.snapshot()) {
+        report.rounds = Some(0);
+        return report;
+    }
+    for k in 1..=max_rounds {
+        let stats = net.step();
+        report.messages += stats.total_sent();
+        report.tracked_messages += stats.tracked_sent;
+        if is_sorted_ring(&net.snapshot()) {
+            report.rounds = Some(k);
+            return report;
+        }
+    }
+    report
+}
+
+/// Convenience: a fresh stable network of `n` evenly spaced nodes that has
+/// additionally run `warmup` rounds so the long-range links have spread.
+pub fn stable_network(n: usize, cfg: ProtocolConfig, seed: u64, warmup: u64) -> Network {
+    let ids = swn_core::id::evenly_spaced_ids(n);
+    let mut net = Network::new(swn_core::invariants::make_sorted_ring(&ids, cfg), seed);
+    net.run(warmup);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(f: f64) -> NodeId {
+        NodeId::from_fraction(f)
+    }
+
+    #[test]
+    fn join_integrates_newcomer() {
+        let mut net = stable_network(16, ProtocolConfig::default(), 1, 20);
+        let ids = net.ids();
+        let contact = ids[10];
+        // A fresh id strictly inside an existing gap.
+        let new_id = NodeId::from_bits(ids[3].bits() / 2 + ids[4].bits() / 2);
+        let report = join(&mut net, new_id, contact, 2000);
+        assert!(report.recovered(), "join did not re-stabilize: {report:?}");
+        assert_eq!(net.len(), 17);
+        let s = net.snapshot();
+        let i = s.index_of(new_id).expect("newcomer present");
+        let node = &s.nodes()[i];
+        assert_eq!(node.left().fin(), Some(ids[3]));
+        assert_eq!(node.right().fin(), Some(ids[4]));
+    }
+
+    #[test]
+    fn join_at_the_far_end_works() {
+        let mut net = stable_network(8, ProtocolConfig::default(), 2, 10);
+        let ids = net.ids();
+        // New global maximum, contacting the global minimum.
+        let new_id = NodeId::from_bits(ids.last().unwrap().bits() + 1000);
+        let report = join(&mut net, new_id, ids[0], 2000);
+        assert!(report.recovered(), "{report:?}");
+        let s = net.snapshot();
+        let node = &s.nodes()[s.index_of(new_id).unwrap()];
+        assert!(node.right().is_pos_inf());
+        assert_eq!(node.ring(), Some(ids[0]), "new max must ring back to min");
+    }
+
+    #[test]
+    fn leave_interior_heals_gap() {
+        let mut net = stable_network(16, ProtocolConfig::default(), 3, 50);
+        let ids = net.ids();
+        let victim = ids[7];
+        let report = leave(&mut net, victim, 4000);
+        assert!(report.recovered(), "leave did not heal: {report:?}");
+        assert_eq!(net.len(), 15);
+        let s = net.snapshot();
+        let left = &s.nodes()[s.index_of(ids[6]).unwrap()];
+        assert_eq!(left.right().fin(), Some(ids[8]), "gap not closed");
+    }
+
+    #[test]
+    fn leave_extremum_recovers_ring_edges() {
+        let mut net = stable_network(10, ProtocolConfig::default(), 4, 30);
+        let ids = net.ids();
+        let report = leave(&mut net, ids[0], 4000);
+        assert!(report.recovered(), "{report:?}");
+        let s = net.snapshot();
+        let new_min = &s.nodes()[s.index_of(ids[1]).unwrap()];
+        let max = &s.nodes()[s.index_of(*ids.last().unwrap()).unwrap()];
+        assert_eq!(new_min.ring(), Some(max.id()));
+        assert_eq!(max.ring(), Some(new_min.id()));
+    }
+
+    #[test]
+    fn leave_random_removes_interior() {
+        let mut net = stable_network(12, ProtocolConfig::default(), 5, 30);
+        let ids = net.ids();
+        let (victim, report) = leave_random(&mut net, 99, 4000);
+        assert_ne!(victim, ids[0]);
+        assert_ne!(victim, *ids.last().unwrap());
+        assert!(report.recovered());
+    }
+
+    #[test]
+    fn sequential_churn_storm() {
+        // Several joins and leaves in sequence; the network must recover
+        // each time.
+        let mut net = stable_network(12, ProtocolConfig::default(), 6, 20);
+        let mut next_bits: u64 = 1 << 40;
+        for step in 0..4 {
+            let ids = net.ids();
+            if step % 2 == 0 {
+                let new_id = NodeId::from_bits(next_bits);
+                next_bits = next_bits.wrapping_mul(3).wrapping_add(12345) | 1;
+                if net.node(new_id).is_some() {
+                    continue;
+                }
+                let contact = ids[step % ids.len()];
+                let rep = join(&mut net, new_id, contact, 3000);
+                assert!(rep.recovered(), "join {step} failed");
+            } else {
+                let (_, rep) = leave_random(&mut net, step as u64, 3000);
+                assert!(rep.recovered(), "leave {step} failed");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn joining_duplicate_id_panics() {
+        let mut net = stable_network(4, ProtocolConfig::default(), 7, 0);
+        let ids = net.ids();
+        let _ = join(&mut net, ids[2], ids[0], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in network")]
+    fn leaving_unknown_id_panics() {
+        let mut net = stable_network(4, ProtocolConfig::default(), 8, 0);
+        let _ = leave(&mut net, fid(0.12345), 10);
+    }
+}

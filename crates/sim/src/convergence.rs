@@ -1,0 +1,176 @@
+//! Convergence measurement: drive a network until it stabilizes and record
+//! when each phase of the proof was reached.
+
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+use swn_core::invariants::{classify, Phase};
+
+/// When each phase milestone was first reached (in rounds from the start
+/// of measurement), plus run-wide accounting.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// First round with LCC weakly connected (phase 1).
+    pub rounds_to_lcc: Option<u64>,
+    /// First round with LCP the sorted list (phase 2).
+    pub rounds_to_list: Option<u64>,
+    /// First round with RCP the sorted ring (phase 3).
+    pub rounds_to_ring: Option<u64>,
+    /// Last round (before the ring formed) in which a probe repair
+    /// happened — after Theorem 4.3's point, probing is always successful.
+    pub last_probe_repair: Option<u64>,
+    /// Total messages sent until the ring formed (or until timeout).
+    pub messages_to_ring: u64,
+    /// True iff the sorted-list and sorted-ring properties, once observed,
+    /// held in every later observed state — the monotonicity Theorems
+    /// 4.9/4.18 guarantee. (LCC weak connectivity may legitimately flicker
+    /// *before* phase 1's probing fixpoint is reached: a `lin` message
+    /// forwarded over a long-range link moves a channel edge across a gap
+    /// that is not yet LCP-connected — the very situation Lemma 4.4's
+    /// eventual argument exists for — so it is not part of this flag.)
+    pub monotone: bool,
+    /// Rounds actually executed.
+    pub rounds_run: u64,
+}
+
+impl ConvergenceReport {
+    /// Did the network reach the sorted ring?
+    pub fn stabilized(&self) -> bool {
+        self.rounds_to_ring.is_some()
+    }
+}
+
+/// Runs `net` until RCP solves the sorted-ring problem (or `max_rounds`
+/// pass), recording phase milestones after every round.
+pub fn run_to_ring(net: &mut Network, max_rounds: u64) -> ConvergenceReport {
+    let mut report = ConvergenceReport {
+        monotone: true,
+        ..Default::default()
+    };
+    let mut best = Phase::Disconnected;
+    let note = |phase: Phase, round: u64, report: &mut ConvergenceReport| {
+        if phase >= Phase::LccConnected && report.rounds_to_lcc.is_none() {
+            report.rounds_to_lcc = Some(round);
+        }
+        if phase >= Phase::SortedList && report.rounds_to_list.is_none() {
+            report.rounds_to_list = Some(round);
+        }
+        if phase >= Phase::SortedRing && report.rounds_to_ring.is_none() {
+            report.rounds_to_ring = Some(round);
+        }
+    };
+
+    let initial = classify(&net.snapshot());
+    best = best.max(initial);
+    note(initial, 0, &mut report);
+
+    let mut round = 0;
+    while report.rounds_to_ring.is_none() && round < max_rounds {
+        let stats = net.step();
+        round += 1;
+        report.messages_to_ring += stats.total_sent();
+        if stats.probe_repairs > 0 {
+            report.last_probe_repair = Some(round);
+        }
+        let phase = classify(&net.snapshot());
+        if best >= Phase::SortedList && phase < best {
+            report.monotone = false;
+        }
+        best = best.max(phase);
+        note(phase, round, &mut report);
+    }
+    report.rounds_run = round;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{generate, InitialTopology};
+    use swn_core::config::ProtocolConfig;
+    use swn_core::id::evenly_spaced_ids;
+
+    fn stabilize(kind: InitialTopology, n: usize, seed: u64) -> ConvergenceReport {
+        let ids = evenly_spaced_ids(n);
+        let mut net = generate(kind, &ids, ProtocolConfig::default(), seed).into_network(seed);
+        run_to_ring(&mut net, 20_000)
+    }
+
+    #[test]
+    fn stable_start_reports_zero_rounds() {
+        let rep = stabilize(InitialTopology::SortedRing, 8, 1);
+        assert_eq!(rep.rounds_to_ring, Some(0));
+        assert_eq!(rep.messages_to_ring, 0);
+        assert!(rep.monotone);
+    }
+
+    #[test]
+    fn list_start_only_needs_ring_phase() {
+        let rep = stabilize(InitialTopology::SortedListNoRing, 16, 2);
+        assert!(rep.stabilized(), "list-no-ring did not close the ring");
+        assert_eq!(rep.rounds_to_lcc, Some(0));
+        assert_eq!(rep.rounds_to_list, Some(0));
+        assert!(rep.rounds_to_ring.unwrap() > 0);
+        assert!(rep.monotone, "phases must not regress");
+    }
+
+    #[test]
+    fn star_stabilizes() {
+        let rep = stabilize(InitialTopology::Star, 16, 3);
+        assert!(rep.stabilized(), "star did not stabilize: {rep:?}");
+        assert!(rep.monotone, "phases regressed: {rep:?}");
+        assert!(
+            rep.rounds_to_lcc <= rep.rounds_to_list
+                && rep.rounds_to_list <= rep.rounds_to_ring,
+            "phases out of order: {rep:?}"
+        );
+    }
+
+    #[test]
+    fn random_chain_stabilizes() {
+        let rep = stabilize(InitialTopology::RandomChain, 24, 4);
+        assert!(rep.stabilized(), "random chain did not stabilize: {rep:?}");
+        assert!(rep.monotone);
+    }
+
+    #[test]
+    fn random_sparse_stabilizes_across_seeds() {
+        for seed in 0..5 {
+            let rep = stabilize(InitialTopology::RandomSparse { extra: 3 }, 20, seed);
+            assert!(rep.stabilized(), "seed {seed} failed: {rep:?}");
+            assert!(rep.monotone, "seed {seed} regressed");
+        }
+    }
+
+    #[test]
+    fn two_blobs_merge() {
+        let rep = stabilize(InitialTopology::TwoBlobs, 20, 5);
+        assert!(rep.stabilized(), "two blobs did not merge: {rep:?}");
+    }
+
+    #[test]
+    fn clique_collapses_to_ring() {
+        let rep = stabilize(InitialTopology::Clique, 20, 6);
+        assert!(rep.stabilized(), "clique did not stabilize: {rep:?}");
+    }
+
+    #[test]
+    fn corrupted_ring_recovers() {
+        let rep = stabilize(InitialTopology::CorruptedRing { corruptions: 5 }, 20, 7);
+        assert!(rep.stabilized(), "corrupted ring did not recover: {rep:?}");
+    }
+
+    #[test]
+    fn timeout_reports_unstabilized() {
+        let ids = evenly_spaced_ids(32);
+        let mut net = generate(
+            InitialTopology::Star,
+            &ids,
+            ProtocolConfig::default(),
+            8,
+        )
+        .into_network(8);
+        let rep = run_to_ring(&mut net, 1); // 1 round cannot possibly suffice
+        assert!(!rep.stabilized());
+        assert_eq!(rep.rounds_run, 1);
+    }
+}

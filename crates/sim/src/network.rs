@@ -1,0 +1,436 @@
+//! The simulated network: node table, channels and the round loop.
+//!
+//! A **round** delivers every eligible message (per the delivery policy)
+//! and runs every node's regular action once, in a random node order.
+//! Messages sent during a round become eligible in the next one, so
+//! receipt strictly follows transmission and one round of the simulator
+//! corresponds to one unit of the paper's asynchronous time (every enabled
+//! action executes — weak fairness; every old message is offered for
+//! delivery — fair receipt).
+//!
+//! The whole run is deterministic in the seed: the same seed, initial
+//! state and policy replay the exact same computation.
+
+use crate::channel::{Channel, DeliveryPolicy};
+use crate::trace::{RoundStats, Trace};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use swn_core::id::NodeId;
+use swn_core::message::Message;
+use swn_core::node::Node;
+use swn_core::outbox::Outbox;
+use swn_core::views::Snapshot;
+
+/// A simulated asynchronous message-passing network.
+#[derive(Debug)]
+pub struct Network {
+    nodes: Vec<Option<Node>>,
+    channels: Vec<Channel>,
+    index: BTreeMap<NodeId, usize>,
+    free: Vec<usize>,
+    policy: DeliveryPolicy,
+    rng: StdRng,
+    round: u64,
+    trace: Trace,
+    outbox: Outbox,
+    tracked: Option<NodeId>,
+    tracked_forwarders: std::collections::BTreeSet<NodeId>,
+}
+
+impl Network {
+    /// Builds a network over the given nodes with the default
+    /// ([`DeliveryPolicy::Immediate`]) policy.
+    pub fn new(nodes: Vec<Node>, seed: u64) -> Self {
+        Self::with_policy(nodes, seed, DeliveryPolicy::Immediate)
+    }
+
+    /// Builds a network with an explicit delivery policy.
+    ///
+    /// # Panics
+    /// Panics on duplicate node ids or invalid policy/config parameters.
+    pub fn with_policy(nodes: Vec<Node>, seed: u64, policy: DeliveryPolicy) -> Self {
+        policy.validate().expect("invalid delivery policy");
+        let mut index = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            n.config().validate().expect("invalid protocol config");
+            let prev = index.insert(n.id(), i);
+            assert!(prev.is_none(), "duplicate node id {:?}", n.id());
+        }
+        let channels = vec![Channel::new(); nodes.len()];
+        Network {
+            nodes: nodes.into_iter().map(Some).collect(),
+            channels,
+            index,
+            free: Vec::new(),
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            round: 0,
+            trace: Trace::new(),
+            outbox: Outbox::new(),
+            tracked: None,
+            tracked_forwarders: Default::default(),
+        }
+    }
+
+    /// Starts counting messages that carry `id` in their payload (see
+    /// [`RoundStats::tracked_sent`]) and recording the distinct nodes that
+    /// forward it in `lin` messages — the "number of steps" metric of
+    /// Theorem 4.24: how far a joining node's identifier travels until it
+    /// reaches its sorted position. Pass `None` to stop tracking (the
+    /// forwarder set is reset on every call).
+    pub fn track_id(&mut self, id: Option<NodeId>) {
+        self.tracked = id;
+        self.tracked_forwarders.clear();
+    }
+
+    /// Distinct nodes (other than the tracked node itself) that forwarded
+    /// the tracked identifier in a `lin` message since tracking started —
+    /// the length of the integration path.
+    pub fn tracked_forwarder_count(&self) -> usize {
+        self.tracked_forwarders.len()
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The metrics trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The live node with the given id.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.index
+            .get(&id)
+            .and_then(|&i| self.nodes[i].as_ref())
+    }
+
+    /// All live node ids in ascending order.
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.index.keys().copied().collect()
+    }
+
+    /// Preloads a message into a node's channel (for adversarial initial
+    /// states with in-flight garbage). No-op if the destination is absent.
+    pub fn preload(&mut self, dest: NodeId, msg: Message) {
+        if let Some(&i) = self.index.get(&dest) {
+            // Enqueue as "already in flight" so it is deliverable in the
+            // very next round.
+            self.channels[i].push(msg, self.round.saturating_sub(1));
+        }
+    }
+
+    /// Executes one round; returns its stats (also appended to the trace).
+    pub fn step(&mut self) -> RoundStats {
+        self.round += 1;
+        let now = self.round;
+        let mut stats = RoundStats::default();
+
+        let mut order: Vec<usize> = self.index.values().copied().collect();
+        order.shuffle(&mut self.rng);
+
+        for i in order {
+            if self.nodes[i].is_none() {
+                continue; // removed earlier in this round by churn callers
+            }
+            // Receive actions: all eligible messages, shuffled.
+            let inbox = self.channels[i].take_deliverable(now, self.policy, &mut self.rng);
+            for m in inbox {
+                stats.count_delivered(m.kind());
+                let node = self.nodes[i].as_mut().expect("checked above");
+                node.on_message(m, &mut self.rng, &mut self.outbox);
+                self.flush_outbox(i, now, &mut stats);
+            }
+            // Regular action.
+            let node = self.nodes[i].as_mut().expect("checked above");
+            node.on_regular(&mut self.outbox);
+            self.flush_outbox(i, now, &mut stats);
+        }
+
+        self.trace.push(stats.clone());
+        stats
+    }
+
+    /// Runs rounds until `pred` holds on the snapshot or `max_rounds` is
+    /// hit. Returns the number of the first satisfying round (counting
+    /// from the call), or `None` on timeout. The predicate is evaluated
+    /// before the first step, so an already-satisfying state returns
+    /// `Some(0)`.
+    pub fn run_until<F>(&mut self, max_rounds: u64, mut pred: F) -> Option<u64>
+    where
+        F: FnMut(&Snapshot) -> bool,
+    {
+        if pred(&self.snapshot()) {
+            return Some(0);
+        }
+        for k in 1..=max_rounds {
+            self.step();
+            if pred(&self.snapshot()) {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Runs exactly `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// A frozen copy of the global state (nodes + channel contents).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut nodes = Vec::with_capacity(self.index.len());
+        let mut channels = Vec::with_capacity(self.index.len());
+        for &i in self.index.values() {
+            if let Some(n) = &self.nodes[i] {
+                nodes.push(n.clone());
+                channels.push(self.channels[i].messages().copied().collect());
+            }
+        }
+        Snapshot::new(nodes, channels)
+    }
+
+    /// Adds a node (churn: join). Returns false if the id already exists.
+    pub fn insert_node(&mut self, node: Node) -> bool {
+        let id = node.id();
+        if self.index.contains_key(&id) {
+            return false;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s] = Some(node);
+                self.channels[s] = Channel::new();
+                s
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.channels.push(Channel::new());
+                self.nodes.len() - 1
+            }
+        };
+        self.index.insert(id, slot);
+        true
+    }
+
+    /// Removes a node (churn: leave/crash). Its channel content vanishes
+    /// with it; links pointing at it dangle until their owners detect the
+    /// departure. Returns the removed node.
+    pub fn remove_node(&mut self, id: NodeId) -> Option<Node> {
+        let slot = self.index.remove(&id)?;
+        self.free.push(slot);
+        self.channels[slot] = Channel::new();
+        self.nodes[slot].take()
+    }
+
+    /// Sends `msg` to `dest` as an external input (e.g. a joining node's
+    /// first announcement).
+    pub fn send_external(&mut self, dest: NodeId, msg: Message) -> bool {
+        if let Some(&i) = self.index.get(&dest) {
+            self.channels[i].push(msg, self.round);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn flush_outbox(&mut self, sender: usize, now: u64, stats: &mut RoundStats) {
+        for ev in self.outbox.drain_events() {
+            stats.count_event(&ev);
+        }
+        // Drain into a local buffer first: routing needs &mut self.channels
+        // while the outbox is also borrowed from self.
+        let sends: Vec<(NodeId, Message)> = self.outbox.drain_sends().collect();
+        for (dest, msg) in sends {
+            stats.count_sent(msg.kind());
+            if let Some(t) = self.tracked {
+                if msg.carried_ids().any(|x| x == t) {
+                    stats.tracked_sent += 1;
+                }
+                if msg == Message::Lin(t) {
+                    if let Some(n) = self.nodes[sender].as_ref() {
+                        if n.id() != t {
+                            self.tracked_forwarders.insert(n.id());
+                        }
+                    }
+                }
+            }
+            match self.index.get(&dest) {
+                Some(&j) => self.channels[j].push(msg, now),
+                None => {
+                    // Bounce: the destination left the network. The sender
+                    // detects the departure and clears its dangling
+                    // pointers. A `lin` payload naming a *live* node is the
+                    // potential sole carrier of that link (linearize moves
+                    // identifiers), so it is handed back to the sender for
+                    // reprocessing; every other payload is still stored at
+                    // its responder and may be dropped safely.
+                    stats.dropped += 1;
+                    if let Some(node) = self.nodes[sender].as_mut() {
+                        node.clear_dangling(dest);
+                        if let Message::Lin(x) = msg {
+                            if x != dest && self.index.contains_key(&x) {
+                                self.channels[sender].push(msg, now);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swn_core::config::ProtocolConfig;
+    use swn_core::id::evenly_spaced_ids;
+    use swn_core::invariants::{classify, is_sorted_ring, make_sorted_ring, Phase};
+
+    fn id(f: f64) -> NodeId {
+        NodeId::from_fraction(f)
+    }
+
+    fn stable_net(n: usize, seed: u64) -> Network {
+        let ids = evenly_spaced_ids(n);
+        Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), seed)
+    }
+
+    #[test]
+    fn stable_ring_stays_stable() {
+        let mut net = stable_net(16, 1);
+        assert!(is_sorted_ring(&net.snapshot()));
+        net.run(50);
+        assert!(is_sorted_ring(&net.snapshot()), "stability violated");
+        assert_eq!(net.trace().total_probe_repairs(), 0);
+        assert_eq!(net.trace().rounds().iter().map(|r| r.dropped).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn two_isolated_nodes_with_a_hint_linearize() {
+        let cfg = ProtocolConfig::default();
+        let a = Node::new(id(0.2), cfg);
+        let b = Node::new(id(0.8), cfg);
+        let mut net = Network::new(vec![a, b], 7);
+        // One temporary link: a learns about b.
+        net.preload(id(0.2), Message::Lin(id(0.8)));
+        let done = net.run_until(50, |s| classify(s) == Phase::SortedRing);
+        assert!(done.is_some(), "2-node network failed to stabilize");
+        let s = net.snapshot();
+        let na = s.nodes()[s.index_of(id(0.2)).unwrap()].clone();
+        let nb = s.nodes()[s.index_of(id(0.8)).unwrap()].clone();
+        assert_eq!(na.right().fin(), Some(id(0.8)));
+        assert_eq!(nb.left().fin(), Some(id(0.2)));
+        assert_eq!(na.ring(), Some(id(0.8)));
+        assert_eq!(nb.ring(), Some(id(0.2)));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_computation() {
+        let run = |seed: u64| {
+            let mut net = stable_net(12, seed);
+            net.run(30);
+            let s = net.snapshot();
+            let lrls: Vec<_> = s.nodes().iter().map(|n| n.lrl()).collect();
+            (net.trace().total_sent(), lrls)
+        };
+        assert_eq!(run(42), run(42));
+        // Different seed: lrl random walks diverge with overwhelming
+        // probability on 12 nodes over 30 rounds.
+        assert_ne!(run(42).1, run(43).1);
+    }
+
+    #[test]
+    fn run_until_detects_immediately_satisfied_predicate() {
+        let mut net = stable_net(4, 1);
+        assert_eq!(net.run_until(10, is_sorted_ring), Some(0));
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let mut net = stable_net(4, 1);
+        assert_eq!(net.run_until(5, |_| false), None);
+        assert_eq!(net.round(), 5);
+    }
+
+    #[test]
+    fn insert_and_remove_nodes() {
+        let mut net = stable_net(4, 1);
+        assert_eq!(net.len(), 4);
+        let newcomer = Node::new(id(0.33), ProtocolConfig::default());
+        assert!(net.insert_node(newcomer));
+        assert!(!net.insert_node(Node::new(id(0.33), ProtocolConfig::default())));
+        assert_eq!(net.len(), 5);
+        assert!(net.remove_node(id(0.33)).is_some());
+        assert!(net.remove_node(id(0.33)).is_none());
+        assert_eq!(net.len(), 4);
+        // Slot is recycled.
+        assert!(net.insert_node(Node::new(id(0.44), ProtocolConfig::default())));
+        assert_eq!(net.len(), 5);
+    }
+
+    #[test]
+    fn messages_to_departed_nodes_are_dropped_and_counted() {
+        let mut net = stable_net(8, 3);
+        let victims = net.ids();
+        let victim = victims[3];
+        net.remove_node(victim);
+        net.run(3);
+        let dropped: u64 = net.trace().rounds().iter().map(|r| r.dropped).sum();
+        assert!(dropped > 0, "neighbours keep sending to the departed node");
+    }
+
+    #[test]
+    fn message_counting_matches_kinds() {
+        let mut net = stable_net(8, 3);
+        net.run(5);
+        let t = net.trace();
+        // Every round every interior node sends 2 lin, extremes 1 lin +
+        // 1 ring, everyone 1 inclrl.
+        assert!(t.total_sent_of(swn_core::message::MessageKind::IncLrl) >= 8 * 5);
+        assert!(t.total_sent_of(swn_core::message::MessageKind::Lin) > 0);
+        assert!(t.total_sent_of(swn_core::message::MessageKind::Ring) > 0);
+    }
+
+    #[test]
+    fn random_delay_policy_still_stabilizes_small_net() {
+        let cfg = ProtocolConfig::default();
+        let a = Node::new(id(0.2), cfg);
+        let b = Node::new(id(0.5), cfg);
+        let c = Node::new(id(0.8), cfg);
+        let mut net = Network::with_policy(
+            vec![a, b, c],
+            11,
+            DeliveryPolicy::RandomDelay {
+                p_deliver: 0.3,
+                max_delay: 5,
+            },
+        );
+        net.preload(id(0.2), Message::Lin(id(0.5)));
+        net.preload(id(0.5), Message::Lin(id(0.8)));
+        let done = net.run_until(300, |s| classify(s) == Phase::SortedRing);
+        assert!(done.is_some(), "failed to stabilize under random delay");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_ids_rejected() {
+        let cfg = ProtocolConfig::default();
+        let _ = Network::new(vec![Node::new(id(0.5), cfg), Node::new(id(0.5), cfg)], 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Parallel multi-trial execution.
+//!
+//! Every experiment aggregates tens to hundreds of independent seeded
+//! trials. Trials share nothing, so we parallelize with scoped threads
+//! pulling indices from an atomic cursor — data-race-free by
+//! construction (each output slot is written by exactly one worker), with
+//! no dependency beyond the standard library.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f` over `0..trials` on up to `available_parallelism` worker
+/// threads and returns the results in index order. `f` must be `Sync`
+/// because multiple workers call it concurrently (on distinct indices).
+///
+/// Falls back to sequential execution for tiny workloads, where thread
+/// startup would dominate.
+pub fn run_trials<R, F>(trials: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trials.max(1));
+    if workers <= 1 || trials <= 1 {
+        return (0..trials).map(f).collect();
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(trials);
+    slots.resize_with(trials, || None);
+    let slots = Mutex::new(&mut slots);
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let r = f(i);
+                // Lock held only for the slot write, never across f(i).
+                slots.lock()[i] = Some(r);
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .iter_mut()
+        .map(|s| s.take().expect("every trial produces a result"))
+        .collect()
+}
+
+/// Maps `f` over a slice in parallel, preserving order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_trials(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = run_trials(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn each_index_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = run_trials(257, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        let distinct: HashSet<_> = out.iter().collect();
+        assert_eq!(distinct.len(), 257);
+    }
+
+    #[test]
+    fn zero_and_one_trials() {
+        assert!(run_trials(0, |i| i).is_empty());
+        assert_eq!(run_trials(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = par_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_simulation_trials_are_independent() {
+        // Smoke test of the intended use: independent seeded simulations.
+        use crate::init::{generate, InitialTopology};
+        use crate::convergence::run_to_ring;
+        use swn_core::config::ProtocolConfig;
+        use swn_core::id::evenly_spaced_ids;
+
+        let ids = evenly_spaced_ids(12);
+        let reports = run_trials(8, |seed| {
+            let mut net = generate(
+                InitialTopology::RandomSparse { extra: 2 },
+                &ids,
+                ProtocolConfig::default(),
+                seed as u64,
+            )
+            .into_network(seed as u64);
+            run_to_ring(&mut net, 5000)
+        });
+        assert!(reports.iter().all(|r| r.stabilized()));
+        // Sequential re-run of one trial reproduces the parallel result.
+        let mut net = generate(
+            InitialTopology::RandomSparse { extra: 2 },
+            &ids,
+            ProtocolConfig::default(),
+            3,
+        )
+        .into_network(3);
+        let seq = run_to_ring(&mut net, 5000);
+        assert_eq!(seq.rounds_to_ring, reports[3].rounds_to_ring);
+        assert_eq!(seq.messages_to_ring, reports[3].messages_to_ring);
+    }
+}

@@ -1,0 +1,139 @@
+//! Snapshot persistence: save and restore global states as JSON.
+//!
+//! Long experiments become checkpointable and failures replayable: a
+//! [`Snapshot`](swn_core::views::Snapshot) round-trips through a
+//! versioned JSON document, and a network can be rebuilt from one
+//! (channel contents included, so the restored computation continues
+//! from exactly the persisted CC state).
+
+use serde::{Deserialize, Serialize};
+use swn_core::message::Message;
+use swn_core::node::Node;
+use swn_core::views::Snapshot;
+
+use crate::network::Network;
+
+/// Current document version (bumped on breaking layout changes).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The serializable form of a snapshot.
+#[derive(Serialize, Deserialize)]
+struct Doc {
+    version: u32,
+    nodes: Vec<Node>,
+    channels: Vec<Vec<Message>>,
+}
+
+/// Serializes a snapshot to JSON.
+pub fn snapshot_to_json(s: &Snapshot) -> String {
+    let doc = Doc {
+        version: FORMAT_VERSION,
+        nodes: s.nodes().to_vec(),
+        channels: s.channels().to_vec(),
+    };
+    serde_json::to_string(&doc).expect("snapshot serialization cannot fail")
+}
+
+/// Deserializes a snapshot from JSON.
+pub fn snapshot_from_json(json: &str) -> Result<Snapshot, String> {
+    let doc: Doc = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    if doc.version != FORMAT_VERSION {
+        return Err(format!(
+            "unsupported snapshot version {} (expected {FORMAT_VERSION})",
+            doc.version
+        ));
+    }
+    if doc.nodes.len() != doc.channels.len() {
+        return Err("node/channel count mismatch".to_string());
+    }
+    let mut ids: Vec<_> = doc.nodes.iter().map(|n| n.id()).collect();
+    ids.sort_unstable();
+    if ids.windows(2).any(|w| w[0] == w[1]) {
+        return Err("duplicate node ids in snapshot".to_string());
+    }
+    Ok(Snapshot::new(doc.nodes, doc.channels))
+}
+
+/// Rebuilds a runnable network from a snapshot: node states are adopted
+/// verbatim and persisted channel contents are preloaded, so the restored
+/// computation continues from the same CC state (scheduler randomness is
+/// freshly seeded — the model guarantees stabilization under *any*
+/// fair schedule, so checkpoints never need to capture the RNG).
+pub fn network_from_snapshot(s: &Snapshot, seed: u64) -> Network {
+    let mut net = Network::new(s.nodes().to_vec(), seed);
+    for (idx, msgs) in s.channels().iter().enumerate() {
+        let dest = s.nodes()[idx].id();
+        for &m in msgs {
+            net.preload(dest, m);
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::run_to_ring;
+    use crate::init::{generate, InitialTopology};
+    use swn_core::config::ProtocolConfig;
+    use swn_core::id::evenly_spaced_ids;
+    use swn_core::invariants::{classify, Phase};
+
+    fn sample_network() -> Network {
+        let ids = evenly_spaced_ids(12);
+        let mut net = generate(
+            InitialTopology::RandomSparse { extra: 2 },
+            &ids,
+            ProtocolConfig::default(),
+            5,
+        )
+        .into_network(5);
+        net.run(3); // some in-flight messages
+        net
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let net = sample_network();
+        let s = net.snapshot();
+        let json = snapshot_to_json(&s);
+        let back = snapshot_from_json(&json).expect("round trip");
+        assert_eq!(back.nodes(), s.nodes());
+        assert_eq!(back.channels(), s.channels());
+    }
+
+    #[test]
+    fn restored_network_continues_to_stabilize() {
+        let net = sample_network();
+        let json = snapshot_to_json(&net.snapshot());
+        let restored = snapshot_from_json(&json).expect("parse");
+        let mut net2 = network_from_snapshot(&restored, 99);
+        let rep = run_to_ring(&mut net2, 100_000);
+        assert!(rep.stabilized(), "restored computation must stabilize");
+        assert_eq!(classify(&net2.snapshot()), Phase::SortedRing);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let net = sample_network();
+        let json = snapshot_to_json(&net.snapshot()).replace("\"version\":1", "\"version\":999");
+        assert!(snapshot_from_json(&json)
+            .unwrap_err()
+            .contains("unsupported snapshot version"));
+    }
+
+    #[test]
+    fn garbage_rejected_gracefully() {
+        assert!(snapshot_from_json("not json").is_err());
+        assert!(snapshot_from_json("{}").is_err());
+    }
+
+    #[test]
+    fn stable_state_persists_its_stability() {
+        let ids = evenly_spaced_ids(8);
+        let nodes = swn_core::invariants::make_sorted_ring(&ids, ProtocolConfig::default());
+        let s = swn_core::views::Snapshot::from_nodes(nodes);
+        let back = snapshot_from_json(&snapshot_to_json(&s)).expect("round trip");
+        assert_eq!(classify(&back), Phase::SortedRing);
+    }
+}

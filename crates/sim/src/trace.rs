@@ -1,0 +1,225 @@
+//! Per-round metrics collection.
+//!
+//! The experiments measure the protocol in *rounds* and *messages* — the
+//! units every theorem is stated in. The trace records, per round, the
+//! message counts by kind plus the structured protocol events (probe
+//! repairs, token moves/forgets, sanitation) emitted by the handlers.
+
+use serde::{Deserialize, Serialize};
+use swn_core::message::MessageKind;
+use swn_core::outbox::ProtocolEvent;
+
+/// Counters for one simulated round.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Messages sent this round, by kind index (see
+    /// [`MessageKind::index`]).
+    pub sent: [u64; 7],
+    /// Messages delivered this round, by kind index.
+    pub delivered: [u64; 7],
+    /// Messages whose destination no longer exists (possible during
+    /// churn); they are dropped.
+    pub dropped: u64,
+    /// Probe-repair events: a probe got stuck and created an edge.
+    pub probe_repairs: u64,
+    /// Long-range token moves.
+    pub lrl_moves: u64,
+    /// Long-range link forget events.
+    pub lrl_forgets: u64,
+    /// Sum of ages at forget (ratio with `lrl_forgets` gives the mean).
+    pub forget_age_sum: u64,
+    /// Maximal age observed at a forget event this round.
+    pub forget_age_max: u64,
+    /// Ring-edge bootstrap/resets.
+    pub ring_resets: u64,
+    /// Ill-typed pointers salvaged by sanitation.
+    pub pointers_salvaged: u64,
+    /// Messages carrying the id registered with `Network::track_id`.
+    pub tracked_sent: u64,
+}
+
+impl RoundStats {
+    /// Total messages sent this round.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Total messages delivered this round.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered.iter().sum()
+    }
+
+    /// Records a send.
+    pub fn count_sent(&mut self, kind: MessageKind) {
+        self.sent[kind.index()] += 1;
+    }
+
+    /// Records a delivery.
+    pub fn count_delivered(&mut self, kind: MessageKind) {
+        self.delivered[kind.index()] += 1;
+    }
+
+    /// Folds a protocol event into the counters.
+    pub fn count_event(&mut self, ev: &ProtocolEvent) {
+        match ev {
+            ProtocolEvent::ProbeRepair { .. } => self.probe_repairs += 1,
+            ProtocolEvent::LrlMoved { .. } => self.lrl_moves += 1,
+            ProtocolEvent::LrlForgotten { age } => {
+                self.lrl_forgets += 1;
+                self.forget_age_sum += age;
+                self.forget_age_max = self.forget_age_max.max(*age);
+            }
+            ProtocolEvent::RingReset { .. } => self.ring_resets += 1,
+            ProtocolEvent::PointerSalvaged { .. } => self.pointers_salvaged += 1,
+            ProtocolEvent::NeighborAdopted { .. } => {}
+        }
+    }
+}
+
+/// The full history of a simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    rounds: Vec<RoundStats>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a finished round.
+    pub fn push(&mut self, stats: RoundStats) {
+        self.rounds.push(stats);
+    }
+
+    /// Per-round stats, oldest first.
+    pub fn rounds(&self) -> &[RoundStats] {
+        &self.rounds
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// True when no rounds have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Total messages sent over the whole run.
+    pub fn total_sent(&self) -> u64 {
+        self.rounds.iter().map(RoundStats::total_sent).sum()
+    }
+
+    /// Total messages sent of one kind.
+    pub fn total_sent_of(&self, kind: MessageKind) -> u64 {
+        self.rounds.iter().map(|r| r.sent[kind.index()]).sum()
+    }
+
+    /// Total probe repairs over the whole run.
+    pub fn total_probe_repairs(&self) -> u64 {
+        self.rounds.iter().map(|r| r.probe_repairs).sum()
+    }
+
+    /// Total forget events.
+    pub fn total_forgets(&self) -> u64 {
+        self.rounds.iter().map(|r| r.lrl_forgets).sum()
+    }
+
+    /// Largest link age seen at any forget event.
+    pub fn max_forget_age(&self) -> u64 {
+        self.rounds.iter().map(|r| r.forget_age_max).max().unwrap_or(0)
+    }
+
+    /// The last round in which a probe repair happened, if any.
+    pub fn last_probe_repair_round(&self) -> Option<usize> {
+        self.rounds
+            .iter()
+            .rposition(|r| r.probe_repairs > 0)
+    }
+
+    /// Total tracked-id messages (see `Network::track_id`).
+    pub fn total_tracked(&self) -> u64 {
+        self.rounds.iter().map(|r| r.tracked_sent).sum()
+    }
+
+    /// Messages sent summed over a suffix window (for stable-state
+    /// overhead measurements).
+    pub fn sent_in_last(&self, window: usize) -> u64 {
+        let start = self.rounds.len().saturating_sub(window);
+        self.rounds[start..].iter().map(RoundStats::total_sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swn_core::id::NodeId;
+
+    #[test]
+    fn round_stats_accumulate() {
+        let mut r = RoundStats::default();
+        r.count_sent(MessageKind::Lin);
+        r.count_sent(MessageKind::Lin);
+        r.count_sent(MessageKind::ProbR);
+        r.count_delivered(MessageKind::Lin);
+        assert_eq!(r.total_sent(), 3);
+        assert_eq!(r.total_delivered(), 1);
+        assert_eq!(r.sent[MessageKind::Lin.index()], 2);
+    }
+
+    #[test]
+    fn events_fold_into_counters() {
+        let mut r = RoundStats::default();
+        let a = NodeId::from_fraction(0.1);
+        let b = NodeId::from_fraction(0.9);
+        r.count_event(&ProtocolEvent::ProbeRepair { at: a, dest: b });
+        r.count_event(&ProtocolEvent::LrlMoved { from: a, to: b });
+        r.count_event(&ProtocolEvent::LrlForgotten { age: 10 });
+        r.count_event(&ProtocolEvent::LrlForgotten { age: 4 });
+        r.count_event(&ProtocolEvent::RingReset { to: None });
+        r.count_event(&ProtocolEvent::PointerSalvaged { value: b });
+        assert_eq!(r.probe_repairs, 1);
+        assert_eq!(r.lrl_moves, 1);
+        assert_eq!(r.lrl_forgets, 2);
+        assert_eq!(r.forget_age_sum, 14);
+        assert_eq!(r.forget_age_max, 10);
+        assert_eq!(r.ring_resets, 1);
+        assert_eq!(r.pointers_salvaged, 1);
+    }
+
+    #[test]
+    fn trace_aggregates() {
+        let mut t = Trace::new();
+        let mut r1 = RoundStats::default();
+        r1.count_sent(MessageKind::Lin);
+        r1.probe_repairs = 2;
+        r1.lrl_forgets = 1;
+        r1.forget_age_max = 8;
+        t.push(r1);
+        let mut r2 = RoundStats::default();
+        r2.count_sent(MessageKind::Ring);
+        r2.count_sent(MessageKind::Lin);
+        t.push(r2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_sent(), 3);
+        assert_eq!(t.total_sent_of(MessageKind::Lin), 2);
+        assert_eq!(t.total_probe_repairs(), 2);
+        assert_eq!(t.total_forgets(), 1);
+        assert_eq!(t.max_forget_age(), 8);
+        assert_eq!(t.last_probe_repair_round(), Some(0));
+        assert_eq!(t.sent_in_last(1), 2);
+        assert_eq!(t.sent_in_last(10), 3);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.total_sent(), 0);
+        assert_eq!(t.max_forget_age(), 0);
+        assert_eq!(t.last_probe_repair_round(), None);
+    }
+}

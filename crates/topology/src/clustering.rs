@@ -1,0 +1,96 @@
+//! Clustering coefficients (Watts–Strogatz's C).
+//!
+//! The local clustering coefficient of a node is the fraction of pairs of
+//! its neighbours that are themselves adjacent; C is the mean over nodes
+//! with degree ≥ 2. Computed on the symmetrized simple graph.
+
+use crate::graph::Graph;
+
+/// Local clustering coefficient of `u` in the (already undirected,
+/// deduplicated) graph. Nodes with fewer than two neighbours have
+/// coefficient 0 by convention.
+pub fn local_clustering(und: &Graph, u: usize) -> f64 {
+    let nbrs = und.neighbors(u);
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if und.neighbors(nbrs[i] as usize).contains(&nbrs[j]) {
+                closed += 1;
+            }
+        }
+    }
+    closed as f64 / (k * (k - 1) / 2) as f64
+}
+
+/// Average clustering coefficient over nodes of degree ≥ 2 (the
+/// convention of Watts–Strogatz; isolated and degree-1 nodes are
+/// excluded from the average).
+pub fn average_clustering(g: &Graph) -> f64 {
+    let und = g.undirected_view();
+    let mut sum = 0.0;
+    let mut cnt = 0usize;
+    for u in 0..und.n() {
+        if und.out_degree(u) >= 2 {
+            sum += local_clustering(&und, u);
+            cnt += 1;
+        }
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        sum / cnt as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn square_with_one_diagonal() {
+        // 0-1-2-3-0 plus diagonal 0-2: triangles 012 and 023.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let und = g.undirected_view();
+        // Node 1: neighbours {0,2}, edge 0-2 exists → 1.0
+        assert!((local_clustering(&und, 1) - 1.0).abs() < 1e-12);
+        // Node 0: neighbours {1,2,3}; pairs (1,2),(1,3),(2,3): present 1-2? yes; 2-3 yes; 1-3 no → 2/3
+        assert!((local_clustering(&und, 0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_lattice_k4_clustering() {
+        // The classic WS substrate: ring of n nodes each linked to the 2
+        // nearest on each side has C = 0.5 (for k=4: 3 closed of 6 pairs).
+        let n = 20;
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+            g.add_edge(i, (i + 2) % n);
+        }
+        let c = average_clustering(&g);
+        assert!((c - 0.5).abs() < 1e-9, "C(ring,k=4) = {c}, expected 0.5");
+    }
+
+    #[test]
+    fn pure_cycle_has_zero_clustering() {
+        let edges: Vec<_> = (0..10).map(|i| (i, (i + 1) % 10)).collect();
+        let g = Graph::from_edges(10, &edges);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Connected-component analysis.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Labels each node with a weakly-connected-component id (directions
+/// ignored) and returns `(labels, component_count)`.
+pub fn weak_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.n();
+    let und = g.undirected_view();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        label[start] = count;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in und.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = count;
+                    queue.push_back(v as usize);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+/// True iff the graph is weakly connected (≤ 1 component among *all*
+/// nodes; the empty graph counts as connected).
+pub fn is_weakly_connected(g: &Graph) -> bool {
+    let (_, c) = weak_components(g);
+    c <= 1
+}
+
+/// Size of the largest weakly connected component, optionally ignoring a
+/// removed-node mask (removed nodes count as absent, not as singletons).
+pub fn largest_component(g: &Graph, removed: Option<&[bool]>) -> usize {
+    let (labels, count) = weak_components(g);
+    if count == 0 {
+        return 0;
+    }
+    let mut sizes = vec![0usize; count];
+    for (u, &l) in labels.iter().enumerate() {
+        if removed.is_some_and(|r| r[u]) {
+            continue;
+        }
+        sizes[l as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// True iff every node can reach every other following edge directions
+/// (Kosaraju-style double BFS from node 0; sufficient for a single-SCC
+/// check).
+pub fn is_strongly_connected(g: &Graph) -> bool {
+    let n = g.n();
+    if n <= 1 {
+        return true;
+    }
+    let reach = |g: &Graph| -> usize {
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0usize);
+        let mut cnt = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    cnt += 1;
+                    queue.push_back(v as usize);
+                }
+            }
+        }
+        cnt
+    };
+    if reach(g) != n {
+        return false;
+    }
+    // Transpose.
+    let mut t = Graph::new(n);
+    for (u, v) in g.edges() {
+        t.add_edge(v, u);
+    }
+    reach(&t) == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(is_weakly_connected(&g));
+        let (labels, c) = weak_components(&g);
+        assert_eq!(c, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn two_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3), (3, 4)]);
+        assert!(!is_weakly_connected(&g));
+        let (_, c) = weak_components(&g);
+        assert_eq!(c, 2);
+        assert_eq!(largest_component(&g, None), 3);
+    }
+
+    #[test]
+    fn direction_ignored_for_weak_connectivity() {
+        let g = Graph::from_edges(3, &[(1, 0), (1, 2)]);
+        assert!(is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn strong_connectivity_requires_cycles() {
+        let chain = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!is_strongly_connected(&chain));
+        let cycle = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(is_strongly_connected(&cycle));
+        let mutual = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        assert!(is_strongly_connected(&mutual));
+    }
+
+    #[test]
+    fn largest_component_with_mask() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let removed = vec![false, true, false, false, false, false];
+        // With node 1 removed from counting, component {0,1,2} counts 2.
+        assert_eq!(largest_component(&g, Some(&removed)), 2);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = Graph::new(0);
+        assert!(is_weakly_connected(&g));
+        assert!(is_strongly_connected(&g));
+        assert_eq!(largest_component(&g, None), 0);
+    }
+}

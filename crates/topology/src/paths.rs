@@ -1,0 +1,188 @@
+//! Shortest paths, diameter and characteristic path length.
+//!
+//! All distances are hop counts on the symmetrized graph (the small-world
+//! literature, including Watts–Strogatz, measures undirected path
+//! lengths). Exact all-pairs BFS is used up to a size cutoff; above it a
+//! seeded sample of sources gives an unbiased estimate.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use std::collections::VecDeque;
+
+/// BFS hop distances from `src` (`u32::MAX` = unreachable).
+pub fn bfs_distances(g: &Graph, src: usize) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v as usize);
+            }
+        }
+    }
+    dist
+}
+
+/// Summary of path-length structure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathStats {
+    /// Mean finite pairwise distance (the characteristic path length L).
+    pub avg: f64,
+    /// Maximal finite pairwise distance (the diameter).
+    pub diameter: u32,
+    /// Number of (ordered) unreachable pairs encountered.
+    pub unreachable_pairs: u64,
+}
+
+fn accumulate(g: &Graph, sources: &[usize]) -> PathStats {
+    let und = g.undirected_view();
+    let mut sum = 0u64;
+    let mut cnt = 0u64;
+    let mut diameter = 0u32;
+    let mut unreachable = 0u64;
+    for &s in sources {
+        let dist = bfs_distances(&und, s);
+        for (v, &d) in dist.iter().enumerate() {
+            if v == s {
+                continue;
+            }
+            if d == u32::MAX {
+                unreachable += 1;
+            } else {
+                sum += d as u64;
+                cnt += 1;
+                diameter = diameter.max(d);
+            }
+        }
+    }
+    PathStats {
+        avg: if cnt == 0 { 0.0 } else { sum as f64 / cnt as f64 },
+        diameter,
+        unreachable_pairs: unreachable,
+    }
+}
+
+/// Exact all-pairs path statistics (O(n·m); fine for n ≲ a few thousand).
+pub fn path_stats_exact(g: &Graph) -> PathStats {
+    let sources: Vec<usize> = (0..g.n()).collect();
+    accumulate(g, &sources)
+}
+
+/// Sampled path statistics from `samples` random BFS sources. The average
+/// is unbiased; the diameter is a lower bound.
+pub fn path_stats_sampled(g: &Graph, samples: usize, seed: u64) -> PathStats {
+    let n = g.n();
+    if n == 0 {
+        return PathStats {
+            avg: 0.0,
+            diameter: 0,
+            unreachable_pairs: 0,
+        };
+    }
+    if samples >= n {
+        return path_stats_exact(g);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sources: Vec<usize> = Vec::with_capacity(samples);
+    while sources.len() < samples {
+        let s = rng.random_range(0..n);
+        if !sources.contains(&s) {
+            sources.push(s);
+        }
+    }
+    accumulate(g, &sources)
+}
+
+/// Ring (cyclic rank) distance between positions `a` and `b` among `n`
+/// equally ranked nodes: the paper's link *length* measure, counting
+/// positions along the shorter arc.
+pub fn ring_distance(a: usize, b: usize, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let d = a.abs_diff(b);
+    d.min(n - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_on_chain() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        // Directed: nothing reaches 0 from 3.
+        let d3 = bfs_distances(&g, 3);
+        assert_eq!(d3[0], u32::MAX);
+    }
+
+    #[test]
+    fn cycle_diameter_is_half() {
+        let g = cycle(10);
+        let st = path_stats_exact(&g);
+        assert_eq!(st.diameter, 5);
+        assert_eq!(st.unreachable_pairs, 0);
+        // Average distance on C10: (1+1+2+2+3+3+4+4+5)/9 = 25/9.
+        assert!((st.avg - 25.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chord_shrinks_average_path_length() {
+        let base = path_stats_exact(&cycle(16));
+        let mut g = cycle(16);
+        g.add_edge(0, 8);
+        let st = path_stats_exact(&g);
+        // One chord cannot reduce the antipodal diameter of C16, but the
+        // characteristic path length must drop (the small-world effect).
+        assert!(st.avg < base.avg, "chord must shrink L: {} vs {}", st.avg, base.avg);
+        let und = g.undirected_view();
+        assert_eq!(bfs_distances(&und, 0)[8], 1);
+    }
+
+    #[test]
+    fn sampled_stats_approximate_exact() {
+        let g = cycle(64);
+        let exact = path_stats_exact(&g);
+        let sampled = path_stats_sampled(&g, 32, 7);
+        // Vertex-transitive graph: per-source means are identical, so the
+        // sampled average must match exactly.
+        assert!((sampled.avg - exact.avg).abs() < 1e-9);
+        assert!(sampled.diameter <= exact.diameter);
+    }
+
+    #[test]
+    fn sampled_with_more_samples_than_nodes_is_exact() {
+        let g = cycle(8);
+        assert_eq!(path_stats_sampled(&g, 100, 1), path_stats_exact(&g));
+    }
+
+    #[test]
+    fn disconnected_pairs_counted() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let st = path_stats_exact(&g);
+        // 2 nodes in each component: 2·2·2 = 8 ordered unreachable pairs.
+        assert_eq!(st.unreachable_pairs, 8);
+        assert_eq!(st.diameter, 1);
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        assert_eq!(ring_distance(0, 9, 10), 1);
+        assert_eq!(ring_distance(2, 7, 10), 5);
+        assert_eq!(ring_distance(3, 3, 10), 0);
+        assert_eq!(ring_distance(0, 5, 10), 5);
+        assert_eq!(ring_distance(1, 8, 10), 3);
+    }
+}

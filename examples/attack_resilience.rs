@@ -1,0 +1,65 @@
+//! Robustness story: the self-stabilized small world vs the structured
+//! Chord overlay under random failures and targeted attacks — the
+//! comparison the paper's introduction draws ("due to their uniform
+//! structure, structured overlay networks are more vulnerable").
+//!
+//! ```text
+//! cargo run --release --example attack_resilience
+//! ```
+
+use self_stabilizing_smallworld::baselines::chord::chord;
+use self_stabilizing_smallworld::prelude::*;
+use self_stabilizing_smallworld::topology::robustness::{sweep, FailureMode};
+use swn_harness::testbed::harmonic_network;
+
+fn main() {
+    let n = 512;
+    let cfg = ProtocolConfig::default();
+
+    println!("== failure/attack resilience, n = {n} ==\n");
+
+    // The self-stabilized overlay in its stationary state (harmonic
+    // long-range links — what the protocol maintains long-term; a short
+    // warmup would under-represent the link spread, see EXPERIMENTS.md E7).
+    let net = harmonic_network(n, cfg, 3);
+    let small_world = Graph::from_snapshot(&net.snapshot(), View::Cp);
+
+    // The structured comparator.
+    let chord_graph = chord(n);
+
+    let fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>12}",
+        "system", "mode", "removed", "giant frac", "routing ok"
+    );
+    for (label, graph) in [("small-world", &small_world), ("chord", &chord_graph)] {
+        for mode in [FailureMode::Random, FailureMode::TargetedHighestDegree] {
+            let pts = sweep(graph, &fractions, mode, 300, 99);
+            for pt in pts {
+                println!(
+                    "{:<12} {:>8} {:>9.0}% {:>12.2} {:>12.2}",
+                    label,
+                    match mode {
+                        FailureMode::Random => "random",
+                        FailureMode::TargetedHighestDegree => "attack",
+                    },
+                    100.0 * pt.removed_frac,
+                    pt.giant_frac,
+                    pt.routing_success,
+                );
+            }
+        }
+        println!();
+    }
+
+    let sw_deg = small_world.undirected_view().m() as f64 / n as f64;
+    let ch_deg = chord_graph.undirected_view().m() as f64 / n as f64;
+    println!("mean degree: small-world {sw_deg:.1} vs chord {ch_deg:.1}");
+    println!();
+    println!("reading the table: the small world has no hubs, so a targeted attack");
+    println!("buys the adversary almost nothing over random failure. Idealized Chord");
+    println!("is more robust in absolute terms — it pays Θ(log n) links per node for");
+    println!("it ({:.0}x the state) — but that state is static: once fingers die they", ch_deg / sw_deg);
+    println!("stay dead, while the self-stabilizing protocol continuously rebuilds");
+    println!("its 3 links per node (see the overlay_churn example).");
+}

@@ -1,0 +1,152 @@
+//! Integration tests for topology updates (Theorem 4.24): joins, leaves
+//! and mixed churn storms on stationary networks.
+
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use self_stabilizing_smallworld::prelude::*;
+use swn_harness::testbed::harmonic_network;
+
+fn fresh_gap_id(ids: &[NodeId], rng: &mut StdRng) -> NodeId {
+    let slot = rng.random_range(0..ids.len() - 1);
+    NodeId::from_bits(ids[slot].bits() + (ids[slot + 1].bits() - ids[slot].bits()) / 2)
+}
+
+#[test]
+fn join_at_every_contact_position() {
+    // The contact's position relative to the newcomer must not matter:
+    // far left, far right, adjacent.
+    let n = 32;
+    for contact_rank in [0usize, 1, 15, 30, 31] {
+        let mut net = harmonic_network(n, ProtocolConfig::default(), 77);
+        let ids = net.ids();
+        let contact = ids[contact_rank];
+        let new_id = NodeId::from_bits(ids[16].bits() + 500);
+        let rep = join(&mut net, new_id, contact, 100_000);
+        assert!(
+            rep.recovered(),
+            "join via rank {contact_rank} failed: {rep:?}"
+        );
+        assert!(is_sorted_ring(&net.snapshot()));
+    }
+}
+
+#[test]
+fn join_new_global_extremes() {
+    let mut net = harmonic_network(24, ProtocolConfig::default(), 5);
+    // Make room below the minimum (evenly spaced ids start at 0.0).
+    let old_min = net.ids()[0];
+    assert!(leave(&mut net, old_min, 100_000).recovered());
+    let ids = net.ids();
+    // New global minimum.
+    let new_min = NodeId::from_bits(ids[0].bits() / 2);
+    let rep = join(&mut net, new_min, ids[12], 100_000);
+    assert!(rep.recovered(), "new-min join failed: {rep:?}");
+    // New global maximum.
+    let new_max = NodeId::from_bits(ids.last().unwrap().bits() + 10_000);
+    let rep = join(&mut net, new_max, ids[3], 100_000);
+    assert!(rep.recovered(), "new-max join failed: {rep:?}");
+    // Ring edges wrap through the new extremes.
+    let s = net.snapshot();
+    let min_node = &s.nodes()[s.index_of(new_min).unwrap()];
+    let max_node = &s.nodes()[s.index_of(new_max).unwrap()];
+    assert_eq!(min_node.ring(), Some(new_max));
+    assert_eq!(max_node.ring(), Some(new_min));
+}
+
+#[test]
+fn consecutive_leaves_heal() {
+    // Remove two adjacent nodes back to back: the double gap must close.
+    let mut net = harmonic_network(20, ProtocolConfig::default(), 8);
+    let ids = net.ids();
+    let rep = leave(&mut net, ids[9], 200_000);
+    assert!(rep.recovered(), "first leave: {rep:?}");
+    let rep = leave(&mut net, ids[10], 200_000);
+    assert!(rep.recovered(), "second leave: {rep:?}");
+    let s = net.snapshot();
+    let left = &s.nodes()[s.index_of(ids[8]).unwrap()];
+    assert_eq!(left.right().fin(), Some(ids[11]));
+}
+
+#[test]
+fn leave_both_extremes() {
+    let mut net = harmonic_network(16, ProtocolConfig::default(), 13);
+    let ids = net.ids();
+    let rep = leave(&mut net, ids[0], 200_000);
+    assert!(rep.recovered(), "min leave: {rep:?}");
+    let rep = leave(&mut net, *ids.last().unwrap(), 200_000);
+    assert!(rep.recovered(), "max leave: {rep:?}");
+    let s = net.snapshot();
+    assert!(is_sorted_ring(&s));
+    assert_eq!(s.len(), 14);
+}
+
+#[test]
+fn mixed_churn_storm_keeps_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xc0ffee);
+    let mut net = harmonic_network(32, ProtocolConfig::default(), 4);
+    for step in 0..12u64 {
+        let ids = net.ids();
+        if step % 3 == 2 && ids.len() > 8 {
+            let (_, rep) = leave_random(&mut net, step, 200_000);
+            assert!(rep.recovered(), "leave at step {step}");
+        } else {
+            let new_id = fresh_gap_id(&ids, &mut rng);
+            if net.node(new_id).is_some() {
+                continue;
+            }
+            let contact = ids[rng.random_range(0..ids.len())];
+            let rep = join(&mut net, new_id, contact, 200_000);
+            assert!(rep.recovered(), "join at step {step}");
+        }
+        let s = net.snapshot();
+        assert!(is_sorted_ring(&s), "invariant broken at step {step}");
+    }
+    // The overlay is still navigable after the storm.
+    net.run(500);
+    let g = Graph::from_snapshot(&net.snapshot(), View::Cp);
+    let stats = evaluate_routing(&g, 150, 2_000, 1, None);
+    assert_eq!(stats.success_rate(), 1.0);
+}
+
+#[test]
+fn join_report_counts_path_and_messages() {
+    let mut net = harmonic_network(64, ProtocolConfig::default(), 6);
+    let ids = net.ids();
+    let mut rng = StdRng::seed_from_u64(1);
+    let new_id = fresh_gap_id(&ids, &mut rng);
+    let contact = ids[50];
+    let rep = join(&mut net, new_id, contact, 100_000);
+    assert!(rep.recovered());
+    assert!(rep.messages > 0);
+    assert!(rep.tracked_messages > 0);
+    assert!(rep.path_nodes >= 1, "at least the final neighbours forward");
+    assert!(
+        (rep.path_nodes as u64) <= rep.tracked_messages,
+        "distinct forwarders cannot exceed tracked messages"
+    );
+}
+
+#[test]
+fn network_shrinks_to_two_and_grows_back() {
+    let mut net = harmonic_network(6, ProtocolConfig::default(), 30);
+    // Shrink to 2 nodes.
+    while net.len() > 2 {
+        let ids = net.ids();
+        let rep = leave(&mut net, ids[1], 200_000);
+        assert!(rep.recovered(), "shrink leave failed at len {}", net.len());
+    }
+    assert!(is_sorted_ring(&net.snapshot()));
+    // Grow back to 6.
+    let mut bits: u64 = 1 << 61;
+    while net.len() < 6 {
+        let ids = net.ids();
+        let new_id = NodeId::from_bits(bits);
+        bits = bits.wrapping_add(0x1234_5678_9abc);
+        if net.node(new_id).is_some() {
+            continue;
+        }
+        let rep = join(&mut net, new_id, ids[0], 200_000);
+        assert!(rep.recovered(), "grow join failed at len {}", net.len());
+    }
+    assert!(is_sorted_ring(&net.snapshot()));
+}

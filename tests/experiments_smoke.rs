@@ -1,0 +1,124 @@
+//! Smoke test: every experiment of the harness runs end to end at a tiny
+//! scale and produces a well-formed table. (The scientific assertions
+//! live in each experiment module's own tests; this guards the wiring the
+//! `experiments` binary relies on.)
+
+use swn_harness::table::Table;
+use swn_harness::*;
+
+fn check(t: &Table, min_rows: usize) {
+    assert!(!t.title.is_empty());
+    assert!(t.rows.len() >= min_rows, "{}: only {} rows", t.title, t.rows.len());
+    for row in &t.rows {
+        assert_eq!(row.len(), t.headers.len(), "{}: ragged row", t.title);
+    }
+    let rendered = t.render();
+    assert!(rendered.contains(&t.title));
+}
+
+#[test]
+fn e1_smoke() {
+    let p = e1_convergence::Params {
+        sizes: vec![12],
+        trials: 2,
+        families: vec![swn_sim::init::InitialTopology::Star],
+        max_rounds: 100_000,
+    };
+    check(&e1_convergence::run(&p), 1);
+}
+
+#[test]
+fn e2_smoke() {
+    let p = e2_distribution::Params {
+        sizes: vec![64],
+        warmup: 300,
+        epochs: 10,
+        epoch_gap: 5,
+        epsilon: 0.1,
+    };
+    check(&e2_distribution::run(&p), 2);
+}
+
+#[test]
+fn e3_smoke() {
+    let p = e3_routing::Params {
+        sizes: vec![128],
+        protocol_max_n: 128,
+        pairs: 40,
+        epsilon: 0.1,
+    };
+    // 7 systems + fit rows.
+    check(&e3_routing::run(&p), 7);
+}
+
+#[test]
+fn e4_smoke() {
+    let p = e4_probing::Params {
+        n: 64,
+        warmup: 100,
+        epochs: 5,
+        epoch_gap: 5,
+        epsilon: 0.1,
+    };
+    check(&e4_probing::run(&p), 2);
+}
+
+#[test]
+fn e5_e6_smoke() {
+    let p = e5_join_leave::Params {
+        sizes: vec![32],
+        trials: 2,
+        max_rounds: 100_000,
+        epsilon: 0.1,
+    };
+    check(&e5_join_leave::run_join(&p), 1);
+    check(&e5_join_leave::run_leave(&p), 1);
+}
+
+#[test]
+fn e7_smoke() {
+    let p = e7_robustness::Params {
+        n: 64,
+        fractions: vec![0.0, 0.3],
+        pairs: 30,
+        epsilon: 0.1,
+    };
+    check(&e7_robustness::run(&p), 8);
+}
+
+#[test]
+fn e8_smoke() {
+    let p = e8_watts_strogatz::Params {
+        n: 100,
+        k: 6,
+        ps: vec![0.1],
+        seeds: 2,
+        path_samples: 20,
+    };
+    check(&e8_watts_strogatz::run(&p), 1);
+}
+
+#[test]
+fn e9_smoke() {
+    let p = e9_overhead::Params {
+        sizes: vec![32],
+        warmup: 100,
+        window: 30,
+        age_horizon_factor: 30,
+        epsilon: 0.1,
+    };
+    check(&e9_overhead::run(&p), 1);
+}
+
+#[test]
+fn ablations_smoke() {
+    let p = ablations::Params {
+        sizes: vec![16],
+        trials: 2,
+        n: 48,
+        warmup: 200,
+    };
+    check(&ablations::run_a1(&p), 1);
+    check(&ablations::run_a2(&p), 4);
+    check(&ablations::run_a3(&p), 4);
+}
