@@ -1,0 +1,118 @@
+//! Seeded initial-topology families for the small-scope search.
+//!
+//! The families reuse `swn_sim::init::generate`, so the checker explores
+//! exactly the adversarial initial states the simulator's stabilization
+//! experiments start from — line (a shuffled directed chain), star
+//! (everyone points at a hub) and clique (well-typed neighbours plus
+//! overflow links preloaded as stale `lin` messages).
+
+use crate::state::State;
+use swn_core::config::ProtocolConfig;
+use swn_core::id::evenly_spaced_ids;
+use swn_core::message::Message;
+use swn_core::node::Node;
+use swn_sim::init::{generate, InitialTopology};
+
+/// An initial-topology family the checker knows how to seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Shuffled directed chain ([`InitialTopology::RandomChain`]).
+    Line,
+    /// All nodes point at one hub ([`InitialTopology::Star`]).
+    Star,
+    /// Complete digraph; overflow edges ride as stale `lin` preloads
+    /// ([`InitialTopology::Clique`]).
+    Clique,
+}
+
+impl Family {
+    /// Every family, in CLI order.
+    pub const ALL: [Family; 3] = [Family::Line, Family::Star, Family::Clique];
+
+    /// CLI spelling / report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Line => "line",
+            Family::Star => "star",
+            Family::Clique => "clique",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    pub fn parse(s: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.label() == s)
+    }
+
+    fn topology(self) -> InitialTopology {
+        match self {
+            Family::Line => InitialTopology::RandomChain,
+            Family::Star => InitialTopology::Star,
+            Family::Clique => InitialTopology::Clique,
+        }
+    }
+
+    /// Builds the seeded initial [`State`] for this family on `n` evenly
+    /// spaced identifiers, with `budget` regular actions per node and
+    /// set-semantics channels (channel bound 1).
+    pub fn initial_state(self, n: usize, budget: u32, seed: u64) -> State {
+        self.initial_state_bounded(n, budget, seed, 1)
+    }
+
+    /// [`Family::initial_state`] with an explicit channel-multiplicity
+    /// bound (see [`State::initial_bounded`]).
+    pub fn initial_state_bounded(self, n: usize, budget: u32, seed: u64, bound: u32) -> State {
+        let ids = evenly_spaced_ids(n);
+        let init = generate(self.topology(), &ids, ProtocolConfig::default(), seed);
+        State::initial_bounded(init.nodes, &init.preloads, budget, bound)
+    }
+}
+
+/// The fixture behind `analyzer --demo-fault`: two fresh nodes whose only
+/// connection is a `lin` message in flight. Under the real protocol the
+/// delivery linearizes the carried identifier; under
+/// [`DropLinStepper`](crate::stepper::DropLinStepper) it vanishes and CC
+/// disconnects, which is the smallest possible monotonicity
+/// counterexample.
+pub fn demo_fault_state(budget: u32) -> State {
+    let ids = evenly_spaced_ids(2);
+    let nodes: Vec<Node> = ids
+        .iter()
+        .map(|&id| Node::new(id, ProtocolConfig::default()))
+        .collect();
+    State::initial(nodes, &[(ids[0], Message::Lin(ids[1]))], budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for f in Family::ALL {
+            assert_eq!(Family::parse(f.label()), Some(f));
+        }
+        assert_eq!(Family::parse("ring"), None);
+    }
+
+    #[test]
+    fn families_are_connected_at_seed_time() {
+        for f in Family::ALL {
+            for seed in 0..3 {
+                let s = f.initial_state(3, 2, seed);
+                assert_eq!(s.nodes.len(), 3);
+                assert!(
+                    s.eval().connected,
+                    "family {} seed {seed} must start connected",
+                    f.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demo_fixture_is_connected_through_the_channel() {
+        let s = demo_fault_state(0);
+        assert!(s.eval().connected);
+        assert_eq!(s.enabled().len(), 1, "exactly the lin delivery");
+    }
+}

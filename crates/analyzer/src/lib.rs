@@ -1,0 +1,66 @@
+//! Small-scope systematic interleaving checker for the protocol.
+//!
+//! The simulator and the threaded runtime each exercise *one* delivery
+//! order per seed. This crate explores **all** of them, for networks small
+//! enough to enumerate (n ≤ 5): starting from a seeded initial topology it
+//! runs a depth-first search over every message-delivery order and
+//! regular-action schedule, and checks on every transition that
+//!
+//! * the phase predicates of `swn_core::invariants` are **monotone** —
+//!   weak connectivity of the CC view, `is_sorted_list` and
+//!   `is_sorted_ring` are never true in a state and false in a successor
+//!   (LCC connectivity is deliberately *not* monitored: a `lin` edge
+//!   legitimately leaves the linearization view while its identifier rides
+//!   an `lrl`/`ring` variable, so LCC flickers by design);
+//! * no handler emits a **self-addressed message** — except the two
+//!   declared self-delivery idioms of the lrl-at-origin loop: `inclrl`
+//!   sent by `sendid` while the long-range token sits at its origin
+//!   (`lrl = id`), and the `reslrl` a node sends back to itself when
+//!   answering its own `inclrl` (how the token first leaves the origin);
+//! * no single activation emits the same `(destination, message)` pair
+//!   twice — probes excepted: Algorithm 10 launches a ring-target probe
+//!   and an lrl probe in one activation, and when ring = lrl the two
+//!   legitimately coincide (probes are idempotent);
+//! * every [`ProtocolEvent`](swn_core::outbox::ProtocolEvent) a handler
+//!   emits is **accounted for** by `swn_sim::trace::RoundStats` — folding
+//!   it into a default `RoundStats` must change some counter.
+//!
+//! Randomness is factored out via [`Policy`]: handlers draw from a
+//! constant word stream, so every branch of `move-forget` is itself
+//! explored by running the search once per policy rather than per seed.
+//!
+//! The model is *small-scope* in three bounded dimensions: network size
+//! (n ≤ 5), a per-node budget of regular actions (regular actions are
+//! always enabled, so an unbounded schedule never quiesces), and a
+//! channel-multiplicity bound — at the default bound of 1 channels are
+//! *sets* and the transport coalesces identical in-flight messages to
+//! one destination (see [`state::State::initial_bounded`]). Violations
+//! found inside the scope are real executions; exhaustiveness is
+//! relative to the scope, per the small-scope hypothesis.
+//!
+//! State explosion is tamed by exact-state memoization plus an optional
+//! sleep-set partial-order reduction ([`explore::Reduction`]): two
+//! transitions with distinct *actor* nodes commute (a delivery touches
+//! only the receiver's variables and appends to channels; a regular
+//! action reads no channel), and sleep sets prune only redundant
+//! re-orderings of commuting transitions — every reachable state is still
+//! visited, so the monitors lose nothing (Godefroid, chapter 4).
+//!
+//! A violation comes back as a transition trace from the initial state;
+//! [`minimize`](minimize::minimize) shrinks it greedily (delta debugging
+//! with chunk size 1) and [`format_trace`](minimize::format_trace) prints
+//! the replay step by step.
+
+#![forbid(unsafe_code)]
+
+pub mod explore;
+pub mod families;
+pub mod minimize;
+pub mod state;
+pub mod stepper;
+
+pub use explore::{ExploreConfig, ExploreReport, Explorer, FoundViolation, Reduction};
+pub use families::Family;
+pub use minimize::{format_trace, minimize, replay};
+pub use state::{PredVector, State, Transition, Violation};
+pub use stepper::{DropLinStepper, Policy, PolicyRng, RealStepper, SelfEchoStepper, Stepper};

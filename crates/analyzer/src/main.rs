@@ -1,0 +1,215 @@
+//! `analyzer` — run the small-scope interleaving checker from the shell.
+//!
+//! ```text
+//! analyzer [--n N] [--family line|star|clique|all] [--budget K]
+//!          [--policy zeros|ones|all] [--reduction none|sleep]
+//!          [--seed S] [--max-states M] [--channel-bound B] [--demo-fault]
+//! ```
+//!
+//! Without flags it exhaustively checks every family at n = 3 with one
+//! regular action per node under both randomness policies (~1 minute,
+//! ~2.8M distinct states), and exits non-zero on any violation or
+//! truncated (non-exhaustive) search. Budget 2 exceeds the default
+//! 2M-state cap at n = 3; raise `--max-states` accordingly.
+//! `--demo-fault` instead runs the deliberately broken `drop-lin` stepper
+//! on the two-node fixture and prints the minimized counterexample — the
+//! output a real protocol bug would produce.
+
+#![forbid(unsafe_code)]
+
+use swn_analyzer::{
+    format_trace, minimize, DropLinStepper, ExploreConfig, Explorer, Family, Policy, RealStepper,
+    Reduction, Stepper as _,
+};
+
+struct Args {
+    n: usize,
+    families: Vec<Family>,
+    budget: u32,
+    policies: Vec<Policy>,
+    reduction: Reduction,
+    seed: u64,
+    max_states: usize,
+    channel_bound: u32,
+    demo_fault: bool,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: analyzer [--n N] [--family line|star|clique|all] [--budget K] \
+         [--policy zeros|ones|all] [--reduction none|sleep] [--seed S] \
+         [--max-states M] [--channel-bound B] [--demo-fault]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 3,
+        families: Family::ALL.to_vec(),
+        budget: 1,
+        policies: Policy::ALL.to_vec(),
+        reduction: Reduction::SleepSets,
+        seed: 1,
+        max_states: 2_000_000,
+        channel_bound: 1,
+        demo_fault: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .unwrap_or_else(|| usage("flag needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--n" => {
+                args.n = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--n expects an integer"));
+                if args.n < 2 || args.n > 5 {
+                    usage("--n must be in 2..=5 (small-scope checker)");
+                }
+            }
+            "--family" => {
+                let v = value(&mut i);
+                args.families = if v == "all" {
+                    Family::ALL.to_vec()
+                } else {
+                    vec![Family::parse(&v)
+                        .unwrap_or_else(|| usage("--family expects line|star|clique|all"))]
+                };
+            }
+            "--budget" => {
+                args.budget = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--budget expects an integer"));
+            }
+            "--policy" => {
+                let v = value(&mut i);
+                args.policies = match v.as_str() {
+                    "zeros" => vec![Policy::Zeros],
+                    "ones" => vec![Policy::Ones],
+                    "all" => Policy::ALL.to_vec(),
+                    _ => usage("--policy expects zeros|ones|all"),
+                };
+            }
+            "--reduction" => {
+                let v = value(&mut i);
+                args.reduction = match v.as_str() {
+                    "none" => Reduction::None,
+                    "sleep" => Reduction::SleepSets,
+                    _ => usage("--reduction expects none|sleep"),
+                };
+            }
+            "--seed" => {
+                args.seed = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed expects an integer"));
+            }
+            "--max-states" => {
+                args.max_states = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-states expects an integer"));
+            }
+            "--channel-bound" => {
+                args.channel_bound = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--channel-bound expects an integer"));
+                if args.channel_bound == 0 {
+                    usage("--channel-bound must be at least 1");
+                }
+            }
+            "--demo-fault" => args.demo_fault = true,
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn run_demo_fault(args: &Args) {
+    let initial = swn_analyzer::families::demo_fault_state(args.budget.min(1));
+    let stepper = DropLinStepper;
+    let cfg = ExploreConfig {
+        policy: Policy::Zeros,
+        reduction: args.reduction,
+        max_states: args.max_states,
+        ..ExploreConfig::default()
+    };
+    let report = Explorer::new(&stepper, cfg).run(&initial);
+    let Some(found) = report.violation else {
+        eprintln!("demo fixture unexpectedly clean — the monitors are broken");
+        std::process::exit(1);
+    };
+    println!(
+        "demo: injected fault '{}' caught after exploring {} states",
+        stepper.label(),
+        report.distinct_states
+    );
+    println!("raw trace: {} steps; minimizing...", found.trace.len());
+    let min = minimize(&initial, &stepper, Policy::Zeros, &found.trace);
+    print!("{}", format_trace(&initial, &stepper, Policy::Zeros, &min));
+}
+
+fn main() {
+    let args = parse_args();
+    if args.demo_fault {
+        run_demo_fault(&args);
+        return;
+    }
+
+    let mut failed = false;
+    println!(
+        "small-scope check: n = {}, budget = {}, seed = {}, reduction = {:?}, channel bound = {}",
+        args.n, args.budget, args.seed, args.reduction, args.channel_bound
+    );
+    for &family in &args.families {
+        for &policy in &args.policies {
+            let initial =
+                family.initial_state_bounded(args.n, args.budget, args.seed, args.channel_bound);
+            let cfg = ExploreConfig {
+                policy,
+                reduction: args.reduction,
+                max_states: args.max_states,
+                ..ExploreConfig::default()
+            };
+            let report = Explorer::new(&RealStepper, cfg).run(&initial);
+            let verdict = if let Some(found) = &report.violation {
+                failed = true;
+                format!("VIOLATION: {}", found.violation)
+            } else if report.truncated {
+                failed = true;
+                "TRUNCATED (raise --max-states for an exhaustive run)".to_owned()
+            } else {
+                "ok (exhaustive)".to_owned()
+            };
+            println!(
+                "  {:<6} policy={:<5} states={:>8} transitions={:>9} quiescent={:>6} depth={:>4}  {}",
+                family.label(),
+                policy.label(),
+                report.distinct_states,
+                report.transitions_executed,
+                report.quiescent_states,
+                report.max_depth_reached,
+                verdict
+            );
+            if report.coalesced_sends > 0 {
+                println!(
+                    "         ({} sends coalesced by channel bound {}; exhaustive relative to it)",
+                    report.coalesced_sends, args.channel_bound
+                );
+            }
+            if let Some(found) = report.violation {
+                let min = minimize(&initial, &RealStepper, policy, &found.trace);
+                print!("{}", format_trace(&initial, &RealStepper, policy, &min));
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

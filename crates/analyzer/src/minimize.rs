@@ -1,0 +1,249 @@
+//! Counterexample replay, minimization and pretty-printing.
+//!
+//! A violation found by the explorer comes with the full DFS schedule
+//! that reached it, which usually contains deliveries irrelevant to the
+//! bug. [`minimize`] shrinks it by greedy delta debugging with chunk
+//! size 1: repeatedly try dropping each transition and keep any shorter
+//! schedule that still (a) replays — every remaining transition is
+//! enabled when its turn comes — and (b) ends in a violation. The result
+//! is 1-minimal: removing any single transition loses the violation.
+
+use crate::state::{PredVector, State, Transition, Violation};
+use crate::stepper::{Policy, Stepper};
+use std::fmt::Write as _;
+
+/// One replayed transition with the monitors' observations.
+#[derive(Clone, Debug)]
+pub struct ReplayStep {
+    /// The transition executed.
+    pub transition: Transition,
+    /// Predicates after it.
+    pub pred_after: PredVector,
+    /// Per-activation violations it raised.
+    pub violations: Vec<Violation>,
+}
+
+/// Outcome of replaying a schedule from an initial state.
+#[derive(Clone, Debug)]
+pub struct Replay {
+    /// Predicates of the initial state.
+    pub pred_initial: PredVector,
+    /// The executed steps, in order. Shorter than the input schedule when
+    /// a transition was not enabled (the replay stops there).
+    pub steps: Vec<ReplayStep>,
+    /// True when every transition of the schedule was enabled in turn.
+    pub complete: bool,
+}
+
+impl Replay {
+    /// The first violation observed: per-activation ones, or a monotone
+    /// predicate flipping true → false between consecutive states.
+    pub fn first_violation(&self) -> Option<Violation> {
+        let mut prev = self.pred_initial;
+        for step in &self.steps {
+            if let Some(v) = step.violations.first() {
+                return Some(v.clone());
+            }
+            for (name, before, after) in prev.diff(step.pred_after) {
+                if before && !after {
+                    return Some(Violation::MonotonicityBroken { predicate: name });
+                }
+            }
+            prev = step.pred_after;
+        }
+        None
+    }
+}
+
+/// Replays `trace` from `initial` through `stepper`, recording monitor
+/// output per step. Stops early (with `complete = false`) at the first
+/// transition that is not enabled.
+pub fn replay(
+    initial: &State,
+    stepper: &dyn Stepper,
+    policy: Policy,
+    trace: &[Transition],
+) -> Replay {
+    let mut cur = initial.clone();
+    let mut steps = Vec::new();
+    let mut complete = true;
+    for t in trace {
+        match cur.apply(stepper, policy, t) {
+            Some(a) => {
+                steps.push(ReplayStep {
+                    transition: t.clone(),
+                    pred_after: a.next.eval(),
+                    violations: a.violations,
+                });
+                cur = a.next;
+            }
+            None => {
+                complete = false;
+                break;
+            }
+        }
+    }
+    Replay {
+        pred_initial: initial.eval(),
+        steps,
+        complete,
+    }
+}
+
+/// Greedily minimizes a violating schedule (delta debugging, chunk
+/// size 1, iterated to a fixpoint). The returned schedule still replays
+/// completely and still ends in a violation; dropping any one transition
+/// from it would lose that.
+///
+/// # Panics
+/// Panics if `trace` does not reproduce a violation in the first place.
+pub fn minimize(
+    initial: &State,
+    stepper: &dyn Stepper,
+    policy: Policy,
+    trace: &[Transition],
+) -> Vec<Transition> {
+    let reproduces = |candidate: &[Transition]| {
+        let r = replay(initial, stepper, policy, candidate);
+        r.complete && r.first_violation().is_some()
+    };
+    assert!(
+        reproduces(trace),
+        "minimize() needs a schedule that reproduces a violation"
+    );
+    let mut best = trace.to_vec();
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < best.len() {
+            let mut candidate = best.clone();
+            candidate.remove(i);
+            if reproduces(&candidate) {
+                best = candidate;
+                shrunk = true;
+                // Same index now names the next transition; retry it.
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            return best;
+        }
+    }
+}
+
+/// Renders a violating schedule as a human-readable listing: the initial
+/// predicates, each step with the predicates after it, and the violation
+/// each monitor raised. This is what `analyzer --demo-fault` prints.
+pub fn format_trace(
+    initial: &State,
+    stepper: &dyn Stepper,
+    policy: Policy,
+    trace: &[Transition],
+) -> String {
+    let r = replay(initial, stepper, policy, trace);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "counterexample ({} steps, stepper: {}, policy: {}):",
+        trace.len(),
+        stepper.label(),
+        policy.label()
+    );
+    let _ = writeln!(
+        out,
+        "  predicates: C = weakly_connected(Cc), L = is_sorted_list, R = is_sorted_ring"
+    );
+    let _ = writeln!(out, "  initial state: [{}]", r.pred_initial.glyphs());
+    let mut prev = r.pred_initial;
+    for (i, step) in r.steps.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  step {:>2}: {:<44} [{}]",
+            i + 1,
+            step.transition.to_string(),
+            step.pred_after.glyphs()
+        );
+        for v in &step.violations {
+            let _ = writeln!(out, "           VIOLATION: {v}");
+        }
+        for (name, before, after) in prev.diff(step.pred_after) {
+            if before && !after {
+                let _ = writeln!(
+                    out,
+                    "           VIOLATION: monotone predicate {name} flipped true -> false"
+                );
+            }
+        }
+        prev = step.pred_after;
+    }
+    if !r.complete {
+        let _ = writeln!(out, "  (schedule truncated: transition not enabled)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{ExploreConfig, Explorer};
+    use crate::families::demo_fault_state;
+    use crate::stepper::{DropLinStepper, RealStepper};
+
+    /// A fixture run that pads the violating delivery with irrelevant
+    /// regular actions, so minimization has something to remove.
+    fn padded_violating_trace() -> (State, Vec<Transition>) {
+        let s = demo_fault_state(1);
+        let report = Explorer::new(&DropLinStepper, ExploreConfig::default()).run(&s);
+        let v = report.violation.expect("drop-lin violates");
+        (s, v.trace)
+    }
+
+    #[test]
+    fn replay_reproduces_explorer_violation() {
+        let (s, trace) = padded_violating_trace();
+        let r = replay(&s, &DropLinStepper, Policy::Zeros, &trace);
+        assert!(r.complete);
+        assert!(r.first_violation().is_some());
+    }
+
+    #[test]
+    fn replay_of_clean_run_has_no_violation() {
+        let (s, trace) = padded_violating_trace();
+        // The same schedule under the real protocol is clean (when it
+        // replays at all).
+        let r = replay(&s, &RealStepper, Policy::Zeros, &trace);
+        assert!(r.first_violation().is_none());
+    }
+
+    #[test]
+    fn minimized_trace_is_one_minimal() {
+        let (s, trace) = padded_violating_trace();
+        let min = minimize(&s, &DropLinStepper, Policy::Zeros, &trace);
+        assert!(!min.is_empty());
+        assert!(min.len() <= trace.len());
+        // 1-minimality: dropping any single transition loses the bug.
+        for i in 0..min.len() {
+            let mut c = min.clone();
+            c.remove(i);
+            let r = replay(&s, &DropLinStepper, Policy::Zeros, &c);
+            assert!(
+                !(r.complete && r.first_violation().is_some()),
+                "dropping step {i} still violates: not minimal"
+            );
+        }
+        // For this fixture the minimum is exactly the lin delivery.
+        assert_eq!(min.len(), 1);
+        assert!(matches!(min[0], Transition::Deliver { .. }));
+    }
+
+    #[test]
+    fn format_trace_names_the_violation() {
+        let (s, trace) = padded_violating_trace();
+        let min = minimize(&s, &DropLinStepper, Policy::Zeros, &trace);
+        let text = format_trace(&s, &DropLinStepper, Policy::Zeros, &min);
+        assert!(text.contains("VIOLATION"), "{text}");
+        assert!(text.contains("weakly_connected(Cc)"), "{text}");
+        assert!(text.contains("deliver"), "{text}");
+    }
+}

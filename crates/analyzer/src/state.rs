@@ -1,0 +1,599 @@
+//! The explorer's global-state model and per-activation monitors.
+//!
+//! A [`State`] is a closed-world configuration: every node's variables,
+//! every channel's contents (as a canonically ordered multiset — channels
+//! are unordered in the asynchronous model, so delivery *order within one
+//! channel* is scheduler choice, not state), and the per-node budget of
+//! remaining regular actions. The budget is what makes the reachable
+//! space finite: regular actions are always enabled in the protocol, so
+//! an unbounded schedule never quiesces; bounding each node to `k`
+//! regular actions explores every interleaving of `n·k` regular actions
+//! with all the message deliveries they transitively cause.
+
+use crate::stepper::{Policy, PolicyRng, Stepper};
+use std::fmt;
+use swn_core::id::{Extended, NodeId};
+use swn_core::invariants::{is_sorted_list, is_sorted_ring, weakly_connected};
+use swn_core::message::Message;
+use swn_core::node::Node;
+use swn_core::outbox::Outbox;
+use swn_core::views::{Snapshot, View};
+use swn_sim::trace::RoundStats;
+
+/// One scheduler choice: deliver a specific in-flight message, or run a
+/// node's regular action.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Transition {
+    /// Deliver one instance of `msg` from node `dest`'s channel.
+    Deliver {
+        /// Receiver's node index.
+        dest: usize,
+        /// The message to deliver (identifies the channel entry).
+        msg: Message,
+    },
+    /// Run node `node`'s regular action (consumes one budget unit).
+    Regular {
+        /// The acting node's index.
+        node: usize,
+    },
+}
+
+impl Transition {
+    /// The node whose variables this transition touches. Transitions with
+    /// distinct actors commute: a handler mutates only its own node and
+    /// appends to channels (multisets, so append order is invisible), and
+    /// neither delivery consumes the other's message.
+    pub fn actor(&self) -> usize {
+        match *self {
+            Transition::Deliver { dest, .. } => dest,
+            Transition::Regular { node } => node,
+        }
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transition::Deliver { dest, msg } => write!(f, "deliver {msg:?} -> node[{dest}]"),
+            Transition::Regular { node } => write!(f, "regular action at node[{node}]"),
+        }
+    }
+}
+
+/// The monitored monotone predicates, evaluated on one state.
+///
+/// Each is a pure function of the configuration; monotonicity along an
+/// execution is therefore checkable per transition (`true` before,
+/// `false` after = violation) with no history carried in the state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredVector {
+    /// `weakly_connected(s, View::Cc)` — the paper's core safety lemma:
+    /// no protocol action loses the last connection between components.
+    pub connected: bool,
+    /// `is_sorted_list` — once the `l`/`r` pointers form the sorted list
+    /// they only ever get refined toward it, never away.
+    pub sorted_list: bool,
+    /// `is_sorted_ring` — sorted list plus the closing ring edges.
+    pub sorted_ring: bool,
+}
+
+impl PredVector {
+    /// Predicate names paired with (before, after) values, for reporting.
+    pub fn diff(self, after: PredVector) -> [(&'static str, bool, bool); 3] {
+        [
+            ("weakly_connected(Cc)", self.connected, after.connected),
+            ("is_sorted_list", self.sorted_list, after.sorted_list),
+            ("is_sorted_ring", self.sorted_ring, after.sorted_ring),
+        ]
+    }
+
+    /// Compact `C L R` / `- - -` rendering for trace listings.
+    pub fn glyphs(self) -> String {
+        let g = |b: bool, c: char| if b { c } else { '-' };
+        format!(
+            "{}{}{}",
+            g(self.connected, 'C'),
+            g(self.sorted_list, 'L'),
+            g(self.sorted_ring, 'R')
+        )
+    }
+}
+
+/// A monitor violation observed while executing one transition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A monotone predicate was true before the transition and false after.
+    MonotonicityBroken {
+        /// Which predicate flipped.
+        predicate: &'static str,
+    },
+    /// A handler emitted a message addressed to its own node (other than
+    /// the declared `inclrl`-at-origin self-delivery).
+    SelfSend {
+        /// The offending node's identifier.
+        node: NodeId,
+        /// The self-addressed message.
+        msg: Message,
+    },
+    /// One activation emitted the same `(destination, message)` pair twice.
+    DuplicateSend {
+        /// The acting node.
+        node: NodeId,
+        /// Destination of the duplicated send.
+        dest: NodeId,
+        /// The duplicated message.
+        msg: Message,
+    },
+    /// A `ProtocolEvent` that `RoundStats::count_event` does not fold into
+    /// any counter — the accounting in `swn_sim::trace` is incomplete.
+    UnaccountedEvent {
+        /// Debug rendering of the orphaned event.
+        event: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MonotonicityBroken { predicate } => {
+                write!(f, "monotone predicate {predicate} flipped true -> false")
+            }
+            Violation::SelfSend { node, msg } => {
+                write!(f, "node {node:?} sent itself {msg:?}")
+            }
+            Violation::DuplicateSend { node, dest, msg } => {
+                write!(f, "node {node:?} emitted duplicate ({dest:?}, {msg:?})")
+            }
+            Violation::UnaccountedEvent { event } => {
+                write!(f, "event {event} not counted by RoundStats")
+            }
+        }
+    }
+}
+
+/// Canonical state encoding (see [`State::key`]).
+pub type Key = Vec<u64>;
+
+/// Code for a finite identifier: its index in the node list, offset past
+/// the two sentinel codes. Panics on an identifier outside the closed
+/// world — the model owns every id that can appear.
+fn id_code(nodes: &[Node], id: NodeId) -> u64 {
+    let i = nodes
+        .iter()
+        .position(|n| n.id() == id)
+        .expect("identifier belongs to the closed world");
+    i as u64 + 2
+}
+
+/// Code for an extended identifier: `−∞` → 0, `+∞` → 1, finite → index+2.
+fn ext_code(nodes: &[Node], e: Extended) -> u64 {
+    match e {
+        Extended::NegInf => 0,
+        Extended::PosInf => 1,
+        Extended::Fin(id) => id_code(nodes, id),
+    }
+}
+
+/// Canonical `[kind, payload, payload]` encoding of a message.
+fn msg_code(nodes: &[Node], m: &Message) -> [u64; 3] {
+    match *m {
+        Message::Lin(x) => [0, id_code(nodes, x), 0],
+        Message::IncLrl(x) => [1, id_code(nodes, x), 0],
+        Message::ResLrl(a, b) => [2, ext_code(nodes, a), ext_code(nodes, b)],
+        Message::Ring(x) => [3, id_code(nodes, x), 0],
+        Message::ResRing(x) => [4, id_code(nodes, x), 0],
+        Message::ProbR(x) => [5, id_code(nodes, x), 0],
+        Message::ProbL(x) => [6, id_code(nodes, x), 0],
+    }
+}
+
+/// Result of executing one transition (see [`State::apply`]).
+#[derive(Clone, Debug)]
+pub struct Applied {
+    /// The successor configuration.
+    pub next: State,
+    /// Per-activation monitor violations.
+    pub violations: Vec<Violation>,
+    /// The activation's raw outbox sends, *before* channel-bound
+    /// coalescing. The sleep-set reduction needs these: a send that
+    /// coalesces does not commute with a pending delivery of the same
+    /// message at the same destination, so independence is refined by
+    /// send-sets (see `explore`).
+    pub sends: Vec<(NodeId, Message)>,
+    /// Sends coalesced by the channel-multiplicity bound.
+    pub coalesced_sends: u32,
+}
+
+/// A closed-world configuration of the small-scope model.
+#[derive(Clone, Debug)]
+pub struct State {
+    /// Node states, in fixed index order (the order never changes).
+    pub nodes: Vec<Node>,
+    /// `channels[i]` = multiset of messages in flight to `nodes[i]`,
+    /// kept in canonical encoded order.
+    pub channels: Vec<Vec<Message>>,
+    /// Remaining regular actions per node.
+    pub budgets: Vec<u32>,
+    /// Maximum copies of one identical message a channel holds; further
+    /// copies are coalesced (see [`State::with_channel_bound`]).
+    pub channel_bound: u32,
+}
+
+impl State {
+    /// Builds the initial state from adversarially initialized nodes,
+    /// preloaded stale messages, and a uniform regular-action budget.
+    pub fn initial(nodes: Vec<Node>, preloads: &[(NodeId, Message)], budget: u32) -> State {
+        Self::initial_bounded(nodes, preloads, budget, 1)
+    }
+
+    /// [`State::initial`] with an explicit channel-multiplicity bound:
+    /// how many *identical* copies of one message a channel may hold
+    /// (further copies, preloaded or sent, are coalesced). The default
+    /// bound of 1 is the set-channel abstraction: the transport merges
+    /// identical in-flight messages to one destination. Like the
+    /// regular-action budget, the bound is part of the small-scope model:
+    /// a violation found under it is real, and exhaustiveness is relative
+    /// to it. Raise it to also explore schedules that deliver the same
+    /// content several times.
+    pub fn initial_bounded(
+        nodes: Vec<Node>,
+        preloads: &[(NodeId, Message)],
+        budget: u32,
+        channel_bound: u32,
+    ) -> State {
+        assert!(channel_bound >= 1, "channel bound must be at least 1");
+        let n = nodes.len();
+        let mut s = State {
+            nodes,
+            channels: vec![Vec::new(); n],
+            budgets: vec![budget; n],
+            channel_bound,
+        };
+        for (dest, msg) in preloads {
+            let i = s
+                .index_of(*dest)
+                .expect("preload addressed to a node in the network");
+            s.push_bounded(i, *msg);
+        }
+        s.canonicalize();
+        s
+    }
+
+    /// Appends `msg` to channel `i` unless the bound's worth of identical
+    /// copies is already in flight. Returns true when the copy was
+    /// coalesced (dropped).
+    fn push_bounded(&mut self, i: usize, msg: Message) -> bool {
+        let copies = self.channels[i].iter().filter(|m| **m == msg).count();
+        if copies >= self.channel_bound as usize {
+            return true;
+        }
+        self.channels[i].push(msg);
+        false
+    }
+
+    /// Index of the node with identifier `id`.
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|n| n.id() == id)
+    }
+
+    /// Restores the canonical channel order (channels are multisets, so
+    /// any stable total order works; the encoded triple is cheap).
+    fn canonicalize(&mut self) {
+        let nodes = std::mem::take(&mut self.nodes);
+        for ch in &mut self.channels {
+            ch.sort_unstable_by_key(|m| msg_code(&nodes, m));
+        }
+        self.nodes = nodes;
+    }
+
+    /// Semantic canonical encoding of the configuration, used as the
+    /// visited-set key. It covers every variable future behaviour depends
+    /// on: per node `(l, r, lrl, ring, age, tick mod probe_period)` — the
+    /// raw probing tick only acts through its residue — plus the budgets
+    /// and the canonically ordered channel multisets. Node ids and the
+    /// protocol config are immutable and omitted. Equal keys are
+    /// therefore bisimilar states.
+    pub fn key(&self) -> Key {
+        let mut k = Vec::with_capacity(6 * self.nodes.len() + 4 * self.channels.len());
+        for node in &self.nodes {
+            k.push(ext_code(&self.nodes, node.left()));
+            k.push(ext_code(&self.nodes, node.right()));
+            k.push(id_code(&self.nodes, node.lrl()));
+            k.push(node.ring().map_or(0, |x| id_code(&self.nodes, x)));
+            k.push(node.age());
+            k.push(node.probe_tick() % node.config().probe_period);
+        }
+        for &b in &self.budgets {
+            k.push(u64::from(b));
+        }
+        for ch in &self.channels {
+            k.push(ch.len() as u64);
+            for m in ch {
+                k.extend(msg_code(&self.nodes, m));
+            }
+        }
+        k
+    }
+
+    /// Evaluates the monitored predicates on this configuration.
+    pub fn eval(&self) -> PredVector {
+        let snap = Snapshot::new(self.nodes.clone(), self.channels.clone());
+        PredVector {
+            connected: weakly_connected(&snap, View::Cc),
+            sorted_list: is_sorted_list(&snap),
+            sorted_ring: is_sorted_ring(&snap),
+        }
+    }
+
+    /// True when no transition is enabled: all channels drained and all
+    /// regular-action budgets exhausted.
+    pub fn is_quiescent(&self) -> bool {
+        self.budgets.iter().all(|&b| b == 0) && self.channels.iter().all(Vec::is_empty)
+    }
+
+    /// All enabled transitions, in a fixed deterministic order: regular
+    /// actions by node index, then deliveries by node index and canonical
+    /// message order. Identical in-flight messages to the same destination
+    /// are collapsed to one transition — delivering either instance
+    /// produces the same successor.
+    pub fn enabled(&self) -> Vec<Transition> {
+        let mut ts = Vec::new();
+        for (i, &b) in self.budgets.iter().enumerate() {
+            if b > 0 {
+                ts.push(Transition::Regular { node: i });
+            }
+        }
+        for (i, ch) in self.channels.iter().enumerate() {
+            for (k, m) in ch.iter().enumerate() {
+                if ch[..k].contains(m) {
+                    continue; // duplicate instance: same successor state
+                }
+                ts.push(Transition::Deliver { dest: i, msg: *m });
+            }
+        }
+        ts
+    }
+
+    /// Executes `t` through `stepper`, returning the successor, any
+    /// per-activation violations and the number of coalesced sends, or
+    /// `None` when `t` is not enabled here (used by trace replay during
+    /// minimization).
+    pub fn apply(&self, stepper: &dyn Stepper, policy: Policy, t: &Transition) -> Option<Applied> {
+        let mut next = self.clone();
+        let mut out = Outbox::new();
+        let mut rng = PolicyRng(policy);
+        let (actor, trigger) = match *t {
+            Transition::Deliver { dest, ref msg } => {
+                let pos = next.channels[dest].iter().position(|m| m == msg)?;
+                let msg = next.channels[dest].remove(pos);
+                stepper.deliver(&mut next.nodes[dest], msg, &mut rng, &mut out);
+                (dest, Some(msg))
+            }
+            Transition::Regular { node } => {
+                if next.budgets[node] == 0 {
+                    return None;
+                }
+                next.budgets[node] -= 1;
+                stepper.regular(&mut next.nodes[node], &mut out);
+                (node, None)
+            }
+        };
+        let sends = out.sends().to_vec();
+        let (violations, coalesced_sends) = next.absorb_outbox(actor, trigger.as_ref(), &out);
+        next.canonicalize();
+        Some(Applied {
+            next,
+            violations,
+            sends,
+            coalesced_sends,
+        })
+    }
+
+    /// Routes the activation's sends into the channels and runs the
+    /// per-activation monitors (self-send, duplicate send, event
+    /// accounting). `trigger` is the message the activation delivered
+    /// (`None` for a regular action).
+    fn absorb_outbox(
+        &mut self,
+        actor: usize,
+        trigger: Option<&Message>,
+        out: &Outbox,
+    ) -> (Vec<Violation>, u32) {
+        let actor_id = self.nodes[actor].id();
+        let mut violations = Vec::new();
+        let mut coalesced = 0u32;
+        let sends = out.sends();
+        for (k, (dest, msg)) in sends.iter().enumerate() {
+            // The protocol declares exactly two self-delivery idioms,
+            // both part of the lrl-at-origin loop:
+            //  * `sendid` emits `inclrl` to the token's endpoint, which
+            //    *is* the node itself while lrl = id;
+            //  * answering one's own `inclrl` (`respondlrl`) sends the
+            //    `reslrl` back to origin = self — this is how the token
+            //    first leaves its origin.
+            // Everything else addressed to self is a bug.
+            let declared_self_delivery = *msg == Message::IncLrl(actor_id)
+                || (matches!(msg, Message::ResLrl(..))
+                    && trigger == Some(&Message::IncLrl(actor_id)));
+            if *dest == actor_id && !declared_self_delivery {
+                violations.push(Violation::SelfSend {
+                    node: actor_id,
+                    msg: *msg,
+                });
+            }
+            // The duplicate monitor covers the control messages, which
+            // the handlers emit at most once per activation by
+            // construction. Two duplicate shapes are *declared* protocol
+            // behaviour and exempt:
+            //  * probes — Algorithm 10 launches a ring-target probe and
+            //    an lrl probe in one activation, and when ring = lrl the
+            //    two coincide (probes are idempotent);
+            //  * `lin` — sanitation can salvage the very identifier the
+            //    activation also delivers; both enter `linearize`, whose
+            //    never-drop rule (Lemma 4.10) then forwards identically.
+            let dedupe_checked = matches!(
+                msg,
+                Message::IncLrl(_) | Message::ResLrl(..) | Message::Ring(_) | Message::ResRing(_)
+            );
+            if dedupe_checked && sends[..k].iter().any(|(d, m)| d == dest && m == msg) {
+                violations.push(Violation::DuplicateSend {
+                    node: actor_id,
+                    dest: *dest,
+                    msg: *msg,
+                });
+            }
+            let i = self
+                .index_of(*dest)
+                .expect("message addressed to a node in the closed world");
+            if self.push_bounded(i, *msg) {
+                coalesced += 1;
+            }
+        }
+        for ev in out.events() {
+            let mut stats = RoundStats::default();
+            stats.count_event(ev);
+            if stats == RoundStats::default() {
+                violations.push(Violation::UnaccountedEvent {
+                    event: format!("{ev:?}"),
+                });
+            }
+        }
+        (violations, coalesced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stepper::RealStepper;
+    use swn_core::config::ProtocolConfig;
+    use swn_core::id::evenly_spaced_ids;
+
+    fn two_fresh_nodes() -> (Vec<Node>, Vec<NodeId>) {
+        let ids = evenly_spaced_ids(2);
+        let nodes = ids
+            .iter()
+            .map(|&id| Node::new(id, ProtocolConfig::default()))
+            .collect();
+        (nodes, ids)
+    }
+
+    #[test]
+    fn initial_state_routes_preloads() {
+        let (nodes, ids) = two_fresh_nodes();
+        let s = State::initial(nodes, &[(ids[0], Message::Lin(ids[1]))], 2);
+        assert_eq!(s.channels[0], vec![Message::Lin(ids[1])]);
+        assert!(s.channels[1].is_empty());
+        assert_eq!(s.budgets, vec![2, 2]);
+        assert!(!s.is_quiescent());
+    }
+
+    #[test]
+    fn enabled_collapses_duplicate_messages() {
+        let (nodes, ids) = two_fresh_nodes();
+        let pre = [
+            (ids[0], Message::Lin(ids[1])),
+            (ids[0], Message::Lin(ids[1])),
+        ];
+        let s = State::initial_bounded(nodes, &pre, 0, 2);
+        assert_eq!(s.channels[0].len(), 2, "bound 2 keeps both copies");
+        let ts = s.enabled();
+        assert_eq!(ts.len(), 1, "identical instances collapse: {ts:?}");
+    }
+
+    #[test]
+    fn delivery_consumes_one_instance() {
+        let (nodes, ids) = two_fresh_nodes();
+        let pre = [
+            (ids[0], Message::Lin(ids[1])),
+            (ids[0], Message::Lin(ids[1])),
+        ];
+        let s = State::initial_bounded(nodes, &pre, 0, 2);
+        let t = Transition::Deliver {
+            dest: 0,
+            msg: Message::Lin(ids[1]),
+        };
+        let a = s.apply(&RealStepper, Policy::Zeros, &t).expect("enabled");
+        assert!(
+            a.violations.is_empty(),
+            "real protocol is clean: {:?}",
+            a.violations
+        );
+        assert_eq!(a.next.channels[0].len(), 1, "one instance left");
+    }
+
+    #[test]
+    fn preload_copies_beyond_bound_coalesce() {
+        let (nodes, ids) = two_fresh_nodes();
+        let pre = [
+            (ids[0], Message::Lin(ids[1])),
+            (ids[0], Message::Lin(ids[1])),
+        ];
+        let s = State::initial(nodes, &pre, 0);
+        assert_eq!(
+            s.channels[0],
+            vec![Message::Lin(ids[1])],
+            "default bound 1 keeps a single copy"
+        );
+    }
+
+    #[test]
+    fn replaying_disabled_transition_returns_none() {
+        let (nodes, ids) = two_fresh_nodes();
+        let s = State::initial(nodes, &[], 0);
+        let t = Transition::Deliver {
+            dest: 0,
+            msg: Message::Lin(ids[1]),
+        };
+        assert!(s.apply(&RealStepper, Policy::Zeros, &t).is_none());
+        assert!(s
+            .apply(
+                &RealStepper,
+                Policy::Zeros,
+                &Transition::Regular { node: 1 }
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn inclrl_at_origin_is_not_a_self_send() {
+        let (nodes, _) = two_fresh_nodes();
+        // Fresh node: lrl = id, so the regular action sends inclrl to
+        // itself — the declared exception.
+        let s = State::initial(nodes, &[], 1);
+        let a = s
+            .apply(
+                &RealStepper,
+                Policy::Zeros,
+                &Transition::Regular { node: 0 },
+            )
+            .expect("budget available");
+        assert!(
+            a.violations.is_empty(),
+            "declared self-delivery flagged: {:?}",
+            a.violations
+        );
+        assert!(a.next.channels[0].contains(&Message::IncLrl(a.next.nodes[0].id())));
+        assert_eq!(a.next.budgets[0], 0);
+    }
+
+    #[test]
+    fn predicate_vector_on_fresh_pair() {
+        let (nodes, ids) = two_fresh_nodes();
+        let disconnected = State::initial(nodes.clone(), &[], 0);
+        assert!(!disconnected.eval().connected);
+        let connected = State::initial(nodes, &[(ids[0], Message::Lin(ids[1]))], 0);
+        assert!(connected.eval().connected, "channel edge counts in Cc");
+    }
+
+    #[test]
+    fn key_distinguishes_budgets_and_channels() {
+        let (nodes, ids) = two_fresh_nodes();
+        let a = State::initial(nodes.clone(), &[], 1);
+        let b = State::initial(nodes.clone(), &[], 2);
+        assert_ne!(a.key(), b.key());
+        let c = State::initial(nodes, &[(ids[0], Message::Lin(ids[1]))], 1);
+        assert_ne!(a.key(), c.key());
+        assert_eq!(a.key(), a.clone().key());
+    }
+}

@@ -137,7 +137,7 @@ impl MoveForgetRing {
     fn all_forgotten_at(&self) -> Option<u64> {
         self.first_forget
             .iter()
-            .map(|f| *f)
+            .copied()
             .collect::<Option<Vec<u64>>>()
             .map(|v| v.into_iter().max().unwrap_or(0))
     }
@@ -196,7 +196,10 @@ mod tests {
             &lengths,
             &swn_topology::distribution::log_corrected_harmonic_cdf(n / 2, 0.1),
         );
-        assert!(ks_corr < ks_plain, "corrected {ks_corr} vs plain {ks_plain}");
+        assert!(
+            ks_corr < ks_plain,
+            "corrected {ks_corr} vs plain {ks_plain}"
+        );
         assert!(ks_corr < 0.30, "KS to corrected law = {ks_corr}");
         let slope = log_log_slope(&lengths, n / 2).expect("enough bins");
         assert!((-2.2..=-1.0).contains(&slope), "slope {slope}");
@@ -208,8 +211,7 @@ mod tests {
         let mut mf = MoveForgetRing::new(n, 0.1, 4);
         mf.run(20_000);
         let mf_stats = evaluate_routing(&mf.graph(), 300, 100_000, 5, None);
-        let ring_stats =
-            evaluate_routing(&crate::ring_lattice::cycle(n), 300, 100_000, 5, None);
+        let ring_stats = evaluate_routing(&crate::ring_lattice::cycle(n), 300, 100_000, 5, None);
         assert_eq!(mf_stats.success_rate(), 1.0);
         // Ring mean ≈ n/4 = 512; the move-and-forget overlay must cut it
         // by well over 2× at this (finite) convergence horizon, trending

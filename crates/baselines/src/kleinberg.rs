@@ -27,7 +27,7 @@ pub fn kleinberg_ring(n: usize, seed: u64) -> Graph {
             // For even n the two directions at d = n/2 name the same
             // (antipodal) node; accepting both would give it twice the
             // per-node harmonic weight, so one of them is rejected.
-            if n % 2 == 0 && d == max_d && !right {
+            if n.is_multiple_of(2) && d == max_d && !right {
                 continue;
             }
             break if right { (i + d) % n } else { (i + n - d) % n };

@@ -15,6 +15,7 @@
 //!   process of the paper's reference [4], the ground truth for the
 //!   long-range-link length distribution.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaintreau;

@@ -6,7 +6,10 @@ use swn_topology::Graph;
 /// A ring of `n` nodes where each node is bidirectionally linked to its
 /// `k/2` nearest neighbours on each side (`k` must be even, ≥ 2, < n).
 pub fn ring_lattice(n: usize, k: usize) -> Graph {
-    assert!(k >= 2 && k % 2 == 0, "k must be even and ≥ 2, got {k}");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "k must be even and ≥ 2, got {k}"
+    );
     assert!(k < n, "k = {k} must be smaller than n = {n}");
     let mut g = Graph::new(n);
     for i in 0..n {

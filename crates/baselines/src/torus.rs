@@ -39,7 +39,7 @@ impl Torus {
         assert!(m >= 3, "side must be at least 3, got {m}");
         assert!(k >= 1, "dimension must be at least 1, got {k}");
         let n = m
-            .checked_pow(k as u32)
+            .checked_pow(u32::try_from(k).expect("torus dimension fits u32"))
             .expect("torus too large");
         Torus { m, k, n }
     }
@@ -135,7 +135,9 @@ impl Torus {
                 continue;
             }
             let d = self.distance(from, cand) as f64;
-            if rng.random::<f64>() < 1.0 / d.powi(self.k as i32) {
+            if rng.random::<f64>()
+                < 1.0 / d.powi(i32::try_from(self.k).expect("torus dimension fits i32"))
+            {
                 return cand;
             }
         }
@@ -192,7 +194,12 @@ impl Torus {
                 t = rng.random_range(0..self.n);
             }
             let hops = self
-                .greedy_route(g, s, t, (8 * self.n) as u32)
+                .greedy_route(
+                    g,
+                    s,
+                    t,
+                    u32::try_from(8 * self.n).expect("hop budget fits u32"),
+                )
                 .expect("lattice-backed greedy cannot get stuck");
             total += hops as u64;
         }

@@ -17,7 +17,10 @@ use swn_topology::Graph;
 /// # Panics
 /// Panics unless `k` is even, `2 ≤ k < n`, and `p ∈ [0, 1]`.
 pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Graph {
-    assert!(k >= 2 && k % 2 == 0, "k must be even and ≥ 2, got {k}");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "k must be even and ≥ 2, got {k}"
+    );
     assert!(k < n, "k = {k} must be smaller than n = {n}");
     assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -126,10 +129,7 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        assert_eq!(
-            watts_strogatz(64, 4, 0.2, 5),
-            watts_strogatz(64, 4, 0.2, 5)
-        );
+        assert_eq!(watts_strogatz(64, 4, 0.2, 5), watts_strogatz(64, 4, 0.2, 5));
     }
 
     #[test]

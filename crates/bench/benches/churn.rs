@@ -19,8 +19,10 @@ fn bench_join(c: &mut Criterion) {
                     seed += 1;
                     let net = harmonic_network(n, ProtocolConfig::default(), seed);
                     let ids = net.ids();
-                    let contact = ids[(seed as usize * 7) % ids.len()];
-                    let slot = (seed as usize * 13) % (ids.len() - 1);
+                    let contact =
+                        ids[usize::try_from(seed * 7).expect("seed fits usize") % ids.len()];
+                    let slot =
+                        usize::try_from(seed * 13).expect("seed fits usize") % (ids.len() - 1);
                     let new_id = NodeId::from_bits(
                         ids[slot].bits() + (ids[slot + 1].bits() - ids[slot].bits()) / 2,
                     );
@@ -49,7 +51,8 @@ fn bench_leave(c: &mut Criterion) {
                     seed += 1;
                     let net = harmonic_network(n, ProtocolConfig::default(), seed);
                     let ids = net.ids();
-                    let victim = ids[1 + (seed as usize * 11) % (ids.len() - 2)];
+                    let victim = ids[1 + usize::try_from(seed * 11).expect("seed fits usize")
+                        % (ids.len() - 2)];
                     (net, victim)
                 },
                 |(mut net, victim)| {

@@ -103,7 +103,10 @@ fn bench_channel(c: &mut Criterion) {
             for _ in 0..1000 {
                 ch.push(msg, 0);
             }
-            black_box(ch.take_deliverable(1, DeliveryPolicy::Immediate, &mut rng).len())
+            black_box(
+                ch.take_deliverable(1, DeliveryPolicy::Immediate, &mut rng)
+                    .len(),
+            )
         });
     });
 }

@@ -28,8 +28,8 @@ fn bench_convergence(c: &mut Criterion) {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    let mut net = generate(family, &ids, ProtocolConfig::default(), seed)
-                        .into_network(seed);
+                    let mut net =
+                        generate(family, &ids, ProtocolConfig::default(), seed).into_network(seed);
                     let rep = run_to_ring(&mut net, 200_000);
                     assert!(rep.stabilized());
                     black_box(rep.rounds_to_ring)

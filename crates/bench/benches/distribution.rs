@@ -26,7 +26,9 @@ fn bench_move_forget(c: &mut Criterion) {
     }
     group.bench_function("ks_to_harmonic_50k_samples", |b| {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
-        let lengths: Vec<usize> = (0..50_000).map(|_| sample_harmonic(2048, &mut rng)).collect();
+        let lengths: Vec<usize> = (0..50_000)
+            .map(|_| sample_harmonic(2048, &mut rng))
+            .collect();
         b.iter(|| black_box(ks_to_harmonic(&lengths, 2048)));
     });
     group.bench_function("harmonic_cdf_8192", |b| {

@@ -12,21 +12,9 @@ fn bench_sweeps(c: &mut Criterion) {
     let p = Params::quick();
     for sys in System::ALL {
         let g = build_graph(sys, &p, 21);
-        group.bench_with_input(
-            BenchmarkId::new("random_sweep", sys.label()),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    black_box(sweep(
-                        g,
-                        &p.fractions,
-                        FailureMode::Random,
-                        p.pairs,
-                        7,
-                    ))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("random_sweep", sys.label()), &g, |b, g| {
+            b.iter(|| black_box(sweep(g, &p.fractions, FailureMode::Random, p.pairs, 7)));
+        });
     }
     group.finish();
 }

@@ -29,7 +29,13 @@ fn bench_routing_systems(c: &mut Criterion) {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    black_box(evaluate_routing(g, p.pairs, 8 * n as u32, seed, None))
+                    black_box(evaluate_routing(
+                        g,
+                        p.pairs,
+                        8 * u32::try_from(n).expect("bench size fits u32"),
+                        seed,
+                        None,
+                    ))
                 });
             },
         );

@@ -2,4 +2,6 @@
 //! target corresponds to one experiment of DESIGN.md §4; the heavy lifting
 //! lives in `swn-harness`, re-exported through this crate for convenience.
 
+#![forbid(unsafe_code)]
+
 pub use swn_harness::*;

@@ -52,6 +52,7 @@ impl NodeId {
         );
         // 2^64 as f64; the product is < 2^64 so the cast saturates correctly
         // only at the (unreachable) top end.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         NodeId((f * 1.844_674_407_370_955_2e19) as u64)
     }
 

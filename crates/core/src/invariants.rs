@@ -32,9 +32,9 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton components.
     pub fn new(n: usize) -> Self {
-        assert!(u32::try_from(n).is_ok(), "too many nodes for UnionFind");
+        let n32 = u32::try_from(n).expect("too many nodes for UnionFind");
         UnionFind {
-            parent: (0..n as u32).collect(),
+            parent: (0..n32).collect(),
             rank: vec![0; n],
             components: n,
         }
@@ -62,7 +62,7 @@ impl UnionFind {
         } else {
             (rb, ra)
         };
-        self.parent[lo as usize] = hi as u32;
+        self.parent[lo] = u32::try_from(hi).expect("UnionFind index fits u32");
         if self.rank[hi] == self.rank[lo] {
             self.rank[hi] += 1;
         }
@@ -147,10 +147,7 @@ pub fn is_sorted_ring(s: &Snapshot) -> bool {
 /// ring holds and every long-range link points at an existing node
 /// (the distributional part is measured separately).
 pub fn is_small_world_structure(s: &Snapshot) -> bool {
-    is_sorted_ring(s)
-        && s.nodes()
-            .iter()
-            .all(|n| s.index_of(n.lrl()).is_some())
+    is_sorted_ring(s) && s.nodes().iter().all(|n| s.index_of(n.lrl()).is_some())
 }
 
 /// The stabilization phase a snapshot has reached (each phase implies the

@@ -47,6 +47,7 @@
 //! assert_eq!(node.right().fin(), Some(NodeId::from_fraction(0.7)));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

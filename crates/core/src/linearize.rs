@@ -37,7 +37,9 @@ impl Node {
                     new: id,
                 });
                 self.r = Extended::Fin(id);
-            } else if self.config().lrl_shortcut && id > self.lrl && Extended::Fin(self.lrl) > self.r
+            } else if self.config().lrl_shortcut
+                && id > self.lrl
+                && Extended::Fin(self.lrl) > self.r
             {
                 // Long-range shortcut: lrl lies strictly between r and id.
                 out.send(self.lrl, Message::Lin(id));
@@ -58,7 +60,9 @@ impl Node {
                     new: id,
                 });
                 self.l = Extended::Fin(id);
-            } else if self.config().lrl_shortcut && id < self.lrl && Extended::Fin(self.lrl) < self.l
+            } else if self.config().lrl_shortcut
+                && id < self.lrl
+                && Extended::Fin(self.lrl) < self.l
             {
                 out.send(self.lrl, Message::Lin(id));
             } else if let Extended::Fin(lv) = self.l {
@@ -162,8 +166,10 @@ mod tests {
 
     #[test]
     fn lrl_shortcut_disabled_by_config() {
-        let mut cfg = ProtocolConfig::default();
-        cfg.lrl_shortcut = false;
+        let cfg = ProtocolConfig {
+            lrl_shortcut: false,
+            ..ProtocolConfig::default()
+        };
         let mut n = Node::with_state(
             id(0.5),
             Extended::Fin(id(0.2)),

@@ -200,7 +200,12 @@ mod tests {
         for _ in 0..TRIALS {
             let mut n = node(Some(0.3), 0.5, Some(0.7), None);
             let mut out = Outbox::new();
-            n.move_forget(Extended::Fin(id(0.2)), Extended::Fin(id(0.8)), &mut rng, &mut out);
+            n.move_forget(
+                Extended::Fin(id(0.2)),
+                Extended::Fin(id(0.8)),
+                &mut rng,
+                &mut out,
+            );
             if n.lrl() == id(0.2) {
                 left += 1;
             }

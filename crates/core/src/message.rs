@@ -57,8 +57,14 @@ pub enum MessageKind {
 }
 
 impl MessageKind {
+    /// Number of message kinds. Every dense per-kind array (trace
+    /// counters, tabulation buffers) must be sized with this constant so
+    /// adding a message type is a one-site change caught by the compiler
+    /// (and by `cargo xtask lint`, which flags literal-`7` arrays).
+    pub const COUNT: usize = 7;
+
     /// All kinds, in a fixed order (useful for tabulation).
-    pub const ALL: [MessageKind; 7] = [
+    pub const ALL: [MessageKind; Self::COUNT] = [
         MessageKind::Lin,
         MessageKind::IncLrl,
         MessageKind::ResLrl,
@@ -68,7 +74,7 @@ impl MessageKind {
         MessageKind::ProbL,
     ];
 
-    /// Stable index in `0..7`, for dense per-kind counters.
+    /// Stable index in `0..Self::COUNT`, for dense per-kind counters.
     #[inline]
     pub fn index(self) -> usize {
         match self {
@@ -164,7 +170,7 @@ mod tests {
 
     #[test]
     fn kind_indices_are_dense_and_distinct() {
-        let mut seen = [false; 7];
+        let mut seen = [false; MessageKind::COUNT];
         for k in MessageKind::ALL {
             assert!(!seen[k.index()], "duplicate index for {:?}", k);
             seen[k.index()] = true;

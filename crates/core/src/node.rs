@@ -117,6 +117,14 @@ impl Node {
     pub fn config(&self) -> &ProtocolConfig {
         &self.cfg
     }
+    /// The regular-action counter driving the probing cadence. Behaviour
+    /// depends only on its residue modulo
+    /// [`probe_period`](crate::config::ProtocolConfig::probe_period);
+    /// state-space tools key on that residue.
+    #[inline]
+    pub fn probe_tick(&self) -> u64 {
+        self.tick
+    }
 
     /// Staggers this node's probing cadence: with `probe_period = P`, the
     /// node probes on regular actions where `(phase + k) ≡ 0 (mod P)`.
@@ -160,7 +168,7 @@ impl Node {
         // reset of p.lrl; the forget check itself happens in move-forget.
         self.age = self.age.saturating_add(1);
         self.send_id(out);
-        if self.tick % self.cfg.probe_period == 0 {
+        if self.tick.is_multiple_of(self.cfg.probe_period) {
             self.probing(out);
         }
         self.tick = self.tick.wrapping_add(1);
@@ -256,9 +264,7 @@ impl Node {
         };
         if !valid {
             self.ring = Some(fallback);
-            out.event(ProtocolEvent::RingReset {
-                to: Some(fallback),
-            });
+            out.event(ProtocolEvent::RingReset { to: Some(fallback) });
         }
         self.ring
     }

@@ -78,12 +78,12 @@ impl Node {
             // Minimum candidate: ring must point right and only improves
             // rightward. An unset/wrong-sided ring counts as "at me".
             let current = self.ring().filter(|&x| x > me);
-            if cand > me && current.map_or(true, |cur| cand > cur) {
+            if cand > me && current.is_none_or(|cur| cand > cur) {
                 self.set_ring(Some(cand));
             }
         } else if self.r.is_pos_inf() {
             let current = self.ring().filter(|&x| x < me);
-            if cand < me && current.map_or(true, |cur| cand < cur) {
+            if cand < me && current.is_none_or(|cur| cand < cur) {
                 self.set_ring(Some(cand));
             }
         }

@@ -53,11 +53,7 @@ impl Snapshot {
     /// # Panics
     /// Panics if `channels.len() != nodes.len()` or node ids collide.
     pub fn new(nodes: Vec<Node>, channels: Vec<Vec<Message>>) -> Self {
-        assert_eq!(
-            nodes.len(),
-            channels.len(),
-            "one channel per node required"
-        );
+        assert_eq!(nodes.len(), channels.len(), "one channel per node required");
         let mut index = BTreeMap::new();
         for (i, n) in nodes.iter().enumerate() {
             let prev = index.insert(n.id(), i);

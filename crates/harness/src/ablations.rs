@@ -16,9 +16,7 @@ use swn_core::id::evenly_spaced_ids;
 use swn_sim::convergence::run_to_ring;
 use swn_sim::init::{generate, InitialTopology};
 use swn_sim::parallel::run_trials;
-use swn_topology::distribution::{
-    ks_to_cdf, log_corrected_harmonic_cdf, log_log_slope,
-};
+use swn_topology::distribution::{ks_to_cdf, log_corrected_harmonic_cdf, log_log_slope};
 use swn_topology::routing::evaluate_routing;
 
 /// Shared scale knob for the ablations.
@@ -77,13 +75,8 @@ pub fn measure_a1(p: &Params) -> Vec<A1Point> {
                 ..Default::default()
             };
             let ids = evenly_spaced_ids(n);
-            let mut net = generate(
-                InitialTopology::RandomSparse { extra: 3 },
-                &ids,
-                cfg,
-                seed,
-            )
-            .into_network(seed);
+            let mut net = generate(InitialTopology::RandomSparse { extra: 3 }, &ids, cfg, seed)
+                .into_network(seed);
             run_to_ring(&mut net, 1_000_000)
                 .rounds_to_ring
                 .expect("must stabilize") as f64
@@ -145,13 +138,16 @@ pub fn measure_a2(p: &Params, epsilons: &[f64]) -> Vec<A2Point> {
                 mf.run(10);
                 lengths.extend(mf.lengths());
             }
-            let stats = evaluate_routing(&mf.graph(), 300, (8 * p.n) as u32, 5, None);
+            let stats = evaluate_routing(
+                &mf.graph(),
+                300,
+                u32::try_from(8 * p.n).expect("hop budget fits u32"),
+                5,
+                None,
+            );
             A2Point {
                 epsilon: eps,
-                ks_corrected: ks_to_cdf(
-                    &lengths,
-                    &log_corrected_harmonic_cdf(p.n / 2, eps),
-                ),
+                ks_corrected: ks_to_cdf(&lengths, &log_corrected_harmonic_cdf(p.n / 2, eps)),
                 slope: log_log_slope(&lengths, p.n / 2).unwrap_or(f64::NAN),
                 mean_hops: stats.mean_hops,
                 forget_rate: mf.forgets() as f64 / (p.warmup + 1000) as f64 / p.n as f64,
@@ -230,7 +226,11 @@ pub fn debug_split_brain(
             } else {
                 Extended::Fin(ids[i + 1])
             };
-            let lrl = if i == bridge_from { ids[bridge_to] } else { ids[i] };
+            let lrl = if i == bridge_from {
+                ids[bridge_to]
+            } else {
+                ids[i]
+            };
             Node::with_state(ids[i], l, r, lrl, None, cfg)
                 .with_probe_phase(rng.random_range(0..cfg.probe_period))
         })
@@ -254,7 +254,7 @@ pub fn measure_a3(p: &Params, periods: &[u64]) -> Vec<A3Point> {
             net.run(100);
             let sent: u64 = net.trace().rounds()[start..]
                 .iter()
-                .map(|r| r.total_sent())
+                .map(swn_sim::trace::RoundStats::total_sent)
                 .sum();
             let rate = sent as f64 / (100.0 * p.n as f64);
             // Repair behaviour: probing is the only mechanism that can
@@ -303,7 +303,13 @@ pub fn run_a3(p: &Params) -> Table {
          bridge links: probe too rarely and single-link bridges are forgotten before any probe \
          crosses them, partitioning the network permanently — the protocol's every-round probing \
          is load-bearing",
-        &["period", "msgs/node/rd", "merge success", "repair latency", "merge rounds"],
+        &[
+            "period",
+            "msgs/node/rd",
+            "merge success",
+            "repair latency",
+            "merge rounds",
+        ],
     );
     for pt in measure_a3(p, &[1, 2, 4, 8, 16]) {
         t.push_row(vec![

@@ -94,15 +94,11 @@ pub fn run_cells(p: &Params) -> Vec<Cell> {
                 let seed = (t as u64) * 7919 + n as u64;
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1d5);
                 let ids = random_ids(n, &mut rng);
-                let mut net = generate(family, &ids, ProtocolConfig::default(), seed)
-                    .into_network(seed);
+                let mut net =
+                    generate(family, &ids, ProtocolConfig::default(), seed).into_network(seed);
                 run_to_ring(&mut net, p.max_rounds)
             });
-            cells.push(Cell {
-                family,
-                n,
-                reports,
-            });
+            cells.push(Cell { family, n, reports });
         }
     }
     cells

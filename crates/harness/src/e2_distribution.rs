@@ -141,7 +141,11 @@ mod tests {
 
     #[test]
     fn protocol_matches_baseline_shape() {
-        let p = Params::quick();
+        let mut p = Params::quick();
+        // The log-log slope estimator is noisy at quick() sample counts;
+        // triple the epochs so the slope comparison below is a property
+        // of the distributions rather than of one epoch draw.
+        p.epochs = 180;
         let proto = protocol_fit(128, &p, 7);
         let base = baseline_fit(128, &p, 7);
         assert!(proto.samples > 1000, "too few samples: {}", proto.samples);

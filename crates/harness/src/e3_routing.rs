@@ -145,7 +145,13 @@ pub fn build_graph(sys: System, n: usize, p: &Params, seed: u64) -> Option<Graph
 /// Measures one (system, n) cell.
 pub fn measure(sys: System, n: usize, p: &Params, seed: u64) -> Option<RoutingStats> {
     let g = build_graph(sys, n, p, seed)?;
-    Some(evaluate_routing(&g, p.pairs, (8 * n as u32).max(1024), seed, None))
+    Some(evaluate_routing(
+        &g,
+        p.pairs,
+        (8 * u32::try_from(n).expect("graph size fits u32")).max(1024),
+        seed,
+        None,
+    ))
 }
 
 /// Runs E3 and renders the table; appends a per-system polylog-exponent

@@ -78,7 +78,7 @@ pub fn measure(p: &Params, seed: u64) -> ProbeMeasurement {
     let cfg = ProtocolConfig::with_epsilon(p.epsilon);
     let mut net = harmonic_network(p.n, cfg, seed);
     net.run(p.warmup); // links are pre-seeded, so this is a shakedown only
-    // hops-by-distance samples.
+                       // hops-by-distance samples.
     let mut samples: Vec<(usize, u32)> = Vec::new();
     let mut m = ProbeMeasurement::default();
     for _ in 0..p.epochs {
@@ -171,8 +171,7 @@ mod tests {
         let &(lo, hi, hops, _) = m
             .buckets
             .iter()
-            .filter(|&&(_, hi, _, _)| hi <= p.n / 2 + 1)
-            .next_back()
+            .rfind(|&&(_, hi, _, _)| hi <= p.n / 2 + 1)
             .expect("non-wrap buckets exist");
         let mid = ((lo * (hi - 1)) as f64).sqrt();
         assert!(

@@ -120,7 +120,14 @@ pub fn run(p: &Params) -> Table {
         "constant-degree small-world links degrade gracefully and are attack-indifferent; \
          ER at matched degree fragments first; Chord buys robustness with log n state per node \
          (Sec. I / IV.G, [25])",
-        &["system", "deg", "mode", "removed", "giant frac", "routing ok"],
+        &[
+            "system",
+            "deg",
+            "mode",
+            "removed",
+            "giant frac",
+            "routing ok",
+        ],
     );
     for &sys in &System::ALL {
         let deg = {
@@ -160,7 +167,11 @@ mod tests {
             // The ring-backed systems are connected by construction; the
             // ER graph at mean degree 3 already carries a few isolated
             // nodes — itself part of the story E7 tells.
-            let floor = if sys == System::RandomGraph { 0.85 } else { 0.999 };
+            let floor = if sys == System::RandomGraph {
+                0.85
+            } else {
+                0.999
+            };
             assert!(
                 pts[0].giant_frac > floor,
                 "{} giant {}",

@@ -119,8 +119,16 @@ mod tests {
         let pts = measure(&p);
         let sw = pts[0]; // p = 0.01
         let rnd = pts[1]; // p = 1
-        assert!(sw.c_ratio > 0.75, "C must stay high at p=0.01: {}", sw.c_ratio);
-        assert!(sw.l_ratio < 0.6, "L must collapse at p=0.01: {}", sw.l_ratio);
+        assert!(
+            sw.c_ratio > 0.75,
+            "C must stay high at p=0.01: {}",
+            sw.c_ratio
+        );
+        assert!(
+            sw.l_ratio < 0.6,
+            "L must collapse at p=0.01: {}",
+            sw.l_ratio
+        );
         assert!(rnd.c_ratio < 0.2, "C must vanish at p=1: {}", rnd.c_ratio);
     }
 

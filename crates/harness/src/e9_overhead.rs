@@ -62,7 +62,7 @@ pub struct Census {
     /// Network size.
     pub n: usize,
     /// Mean messages per node per round, by kind index.
-    pub per_kind: [f64; 7],
+    pub per_kind: [f64; MessageKind::COUNT],
     /// Total mean messages per node per round.
     pub total: f64,
 }
@@ -74,10 +74,10 @@ pub fn census(n: usize, p: &Params, seed: u64) -> Census {
     let start = net.trace().len();
     net.run(p.window);
     let rounds = &net.trace().rounds()[start..];
-    let mut per_kind = [0f64; 7];
+    let mut per_kind = [0f64; MessageKind::COUNT];
     for r in rounds {
-        for k in 0..7 {
-            per_kind[k] += r.sent[k] as f64;
+        for (acc, &sent) in per_kind.iter_mut().zip(&r.sent) {
+            *acc += sent as f64;
         }
     }
     let denom = (n as u64 * p.window) as f64;
@@ -171,8 +171,7 @@ mod tests {
         assert!(c.per_kind[MessageKind::ResLrl.index()] > 0.5);
         // Probes exist whenever tokens are off-origin.
         assert!(
-            c.per_kind[MessageKind::ProbR.index()] + c.per_kind[MessageKind::ProbL.index()]
-                > 0.1
+            c.per_kind[MessageKind::ProbR.index()] + c.per_kind[MessageKind::ProbL.index()] > 0.1
         );
     }
 

@@ -11,6 +11,7 @@
 //! cargo run -p swn-harness --release --bin experiments -- e3
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;

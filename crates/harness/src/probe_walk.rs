@@ -55,7 +55,7 @@ pub fn replay_probe_to(s: &Snapshot, origin_idx: usize, dest: NodeId) -> ProbeOu
 }
 
 fn walk(s: &Snapshot, origin_idx: usize, dest: NodeId) -> ProbeOutcome {
-    let max_hops = (2 * s.len() + 4) as u32;
+    let max_hops = u32::try_from(2 * s.len() + 4).expect("hop budget fits u32");
     let mut hops = 0u32;
     let origin = &s.nodes()[origin_idx];
 

@@ -17,15 +17,11 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        claim: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, claim: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             title: title.into(),
             claim: claim.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }

@@ -97,7 +97,9 @@ mod tests {
         assert!(is_weakly_connected(&g));
         // Ring edges between consecutive ranks exist in CP.
         for i in 0..31 {
-            assert!(g.neighbors(i).contains(&((i + 1) as u32)));
+            assert!(g
+                .neighbors(i)
+                .contains(&u32::try_from(i + 1).expect("fits u32")));
         }
         assert!(g.neighbors(31).contains(&0), "seam edge present");
     }

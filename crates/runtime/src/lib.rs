@@ -25,6 +25,8 @@
 //!   through the flag itself, and the subsequent `join` provides the
 //!   happens-before edge for the final states).
 
+#![forbid(unsafe_code)]
+
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -133,11 +135,7 @@ impl Runtime {
     /// observable; the returned snapshot has empty channels, which is
     /// exactly the CP/LCP/RCP view the phase predicates need).
     pub fn snapshot(&self) -> Snapshot {
-        let nodes: Vec<Node> = self
-            .states
-            .iter()
-            .map(|(_, s)| s.lock().clone())
-            .collect();
+        let nodes: Vec<Node> = self.states.iter().map(|(_, s)| s.lock().clone()).collect();
         Snapshot::from_nodes(nodes)
     }
 
@@ -177,7 +175,10 @@ impl Runtime {
         for h in self.handles {
             h.join().expect("node thread panicked");
         }
-        self.states.into_iter().map(|(_, s)| s.lock().clone()).collect()
+        self.states
+            .into_iter()
+            .map(|(_, s)| s.lock().clone())
+            .collect()
     }
 }
 

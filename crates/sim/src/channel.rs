@@ -13,11 +13,12 @@ use serde::{Deserialize, Serialize};
 use swn_core::message::Message;
 
 /// How the scheduler decides which queued messages to deliver each round.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub enum DeliveryPolicy {
     /// Deliver every queued message each round, in random order. This is
     /// the synchronous-round abstraction used for *measuring* convergence
     /// (DESIGN.md deviation #7).
+    #[default]
     Immediate,
     /// Adversarial asynchrony: each round each message is delivered with
     /// probability `p_deliver`, but never delayed more than `max_delay`
@@ -44,18 +45,10 @@ impl DeliveryPolicy {
     pub fn validate(&self) -> Result<(), String> {
         if let DeliveryPolicy::RandomDelay { p_deliver, .. } = *self {
             if !(0.0..=1.0).contains(&p_deliver) || p_deliver == 0.0 {
-                return Err(format!(
-                    "p_deliver must be in (0, 1], got {p_deliver}"
-                ));
+                return Err(format!("p_deliver must be in (0, 1], got {p_deliver}"));
             }
         }
         Ok(())
-    }
-}
-
-impl Default for DeliveryPolicy {
-    fn default() -> Self {
-        DeliveryPolicy::Immediate
     }
 }
 

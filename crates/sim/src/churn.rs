@@ -113,7 +113,10 @@ pub fn leave(net: &mut Network, victim: NodeId, max_rounds: u64) -> RecoveryRepo
 /// case) and removes it.
 pub fn leave_random(net: &mut Network, seed: u64, max_rounds: u64) -> (NodeId, RecoveryReport) {
     let ids = net.ids();
-    assert!(ids.len() >= 4, "need at least 4 nodes to remove an interior one");
+    assert!(
+        ids.len() >= 4,
+        "need at least 4 nodes to remove an interior one"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let victim = ids[rng.random_range(1..ids.len() - 1)];
     let report = leave(net, victim, max_rounds);

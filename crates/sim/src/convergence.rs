@@ -119,8 +119,7 @@ mod tests {
         assert!(rep.stabilized(), "star did not stabilize: {rep:?}");
         assert!(rep.monotone, "phases regressed: {rep:?}");
         assert!(
-            rep.rounds_to_lcc <= rep.rounds_to_list
-                && rep.rounds_to_list <= rep.rounds_to_ring,
+            rep.rounds_to_lcc <= rep.rounds_to_list && rep.rounds_to_list <= rep.rounds_to_ring,
             "phases out of order: {rep:?}"
         );
     }
@@ -162,13 +161,8 @@ mod tests {
     #[test]
     fn timeout_reports_unstabilized() {
         let ids = evenly_spaced_ids(32);
-        let mut net = generate(
-            InitialTopology::Star,
-            &ids,
-            ProtocolConfig::default(),
-            8,
-        )
-        .into_network(8);
+        let mut net =
+            generate(InitialTopology::Star, &ids, ProtocolConfig::default(), 8).into_network(8);
         let rep = run_to_ring(&mut net, 1); // 1 round cannot possibly suffice
         assert!(!rep.stabilized());
         assert_eq!(rep.rounds_run, 1);

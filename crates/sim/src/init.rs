@@ -92,7 +92,14 @@ pub struct InitialState {
 impl InitialState {
     /// Materializes the state into a ready-to-run [`Network`].
     pub fn into_network(self, seed: u64) -> Network {
-        let mut net = Network::new(self.nodes, seed);
+        self.into_network_with_policy(seed, crate::DeliveryPolicy::default())
+    }
+
+    /// [`InitialState::into_network`] under an explicit delivery policy
+    /// (e.g. adversarial [`crate::DeliveryPolicy::RandomDelay`]
+    /// asynchrony for fairness-sensitive property tests).
+    pub fn into_network_with_policy(self, seed: u64, policy: crate::DeliveryPolicy) -> Network {
+        let mut net = Network::with_policy(self.nodes, seed, policy);
         for (dest, msg) in self.preloads {
             net.preload(dest, msg);
         }
@@ -156,11 +163,7 @@ impl Slots {
     }
 }
 
-fn build_from_edges(
-    ids: &[NodeId],
-    edges: &[(usize, usize)],
-    cfg: ProtocolConfig,
-) -> InitialState {
+fn build_from_edges(ids: &[NodeId], edges: &[(usize, usize)], cfg: ProtocolConfig) -> InitialState {
     let mut slots: Vec<Slots> = ids.iter().map(|&id| Slots::new(id)).collect();
     for &(u, v) in edges {
         slots[u].add_link(ids[v]);
@@ -368,7 +371,7 @@ pub fn generate(
 mod tests {
     use super::*;
     use swn_core::id::evenly_spaced_ids;
-    use swn_core::invariants::{weakly_connected, classify, Phase};
+    use swn_core::invariants::{classify, weakly_connected, Phase};
     use swn_core::views::View;
 
     fn check_connected(kind: InitialTopology, n: usize, seed: u64) {

@@ -34,6 +34,7 @@
 //! assert!(report.stabilized());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;

@@ -114,9 +114,7 @@ impl Network {
 
     /// The live node with the given id.
     pub fn node(&self, id: NodeId) -> Option<&Node> {
-        self.index
-            .get(&id)
-            .and_then(|&i| self.nodes[i].as_ref())
+        self.index.get(&id).and_then(|&i| self.nodes[i].as_ref())
     }
 
     /// All live node ids in ascending order.
@@ -318,7 +316,10 @@ mod tests {
         net.run(50);
         assert!(is_sorted_ring(&net.snapshot()), "stability violated");
         assert_eq!(net.trace().total_probe_repairs(), 0);
-        assert_eq!(net.trace().rounds().iter().map(|r| r.dropped).sum::<u64>(), 0);
+        assert_eq!(
+            net.trace().rounds().iter().map(|r| r.dropped).sum::<u64>(),
+            0
+        );
     }
 
     #[test]
@@ -346,7 +347,7 @@ mod tests {
             let mut net = stable_net(12, seed);
             net.run(30);
             let s = net.snapshot();
-            let lrls: Vec<_> = s.nodes().iter().map(|n| n.lrl()).collect();
+            let lrls: Vec<_> = s.nodes().iter().map(swn_core::node::Node::lrl).collect();
             (net.trace().total_sent(), lrls)
         };
         assert_eq!(run(42), run(42));

@@ -21,7 +21,7 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1)
         .min(trials.max(1));
     if workers <= 1 || trials <= 1 {
@@ -104,8 +104,8 @@ mod tests {
     #[test]
     fn parallel_simulation_trials_are_independent() {
         // Smoke test of the intended use: independent seeded simulations.
-        use crate::init::{generate, InitialTopology};
         use crate::convergence::run_to_ring;
+        use crate::init::{generate, InitialTopology};
         use swn_core::config::ProtocolConfig;
         use swn_core::id::evenly_spaced_ids;
 
@@ -120,7 +120,9 @@ mod tests {
             .into_network(seed as u64);
             run_to_ring(&mut net, 5000)
         });
-        assert!(reports.iter().all(|r| r.stabilized()));
+        assert!(reports
+            .iter()
+            .all(super::super::convergence::ConvergenceReport::stabilized));
         // Sequential re-run of one trial reproduces the parallel result.
         let mut net = generate(
             InitialTopology::RandomSparse { extra: 2 },

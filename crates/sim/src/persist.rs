@@ -46,7 +46,7 @@ pub fn snapshot_from_json(json: &str) -> Result<Snapshot, String> {
     if doc.nodes.len() != doc.channels.len() {
         return Err("node/channel count mismatch".to_string());
     }
-    let mut ids: Vec<_> = doc.nodes.iter().map(|n| n.id()).collect();
+    let mut ids: Vec<_> = doc.nodes.iter().map(swn_core::node::Node::id).collect();
     ids.sort_unstable();
     if ids.windows(2).any(|w| w[0] == w[1]) {
         return Err("duplicate node ids in snapshot".to_string());

@@ -14,9 +14,9 @@ use swn_core::outbox::ProtocolEvent;
 pub struct RoundStats {
     /// Messages sent this round, by kind index (see
     /// [`MessageKind::index`]).
-    pub sent: [u64; 7],
+    pub sent: [u64; MessageKind::COUNT],
     /// Messages delivered this round, by kind index.
-    pub delivered: [u64; 7],
+    pub delivered: [u64; MessageKind::COUNT],
     /// Messages whose destination no longer exists (possible during
     /// churn); they are dropped.
     pub dropped: u64,
@@ -34,6 +34,8 @@ pub struct RoundStats {
     pub ring_resets: u64,
     /// Ill-typed pointers salvaged by sanitation.
     pub pointers_salvaged: u64,
+    /// Left/right neighbour adoptions during linearization.
+    pub neighbor_adoptions: u64,
     /// Messages carrying the id registered with `Network::track_id`.
     pub tracked_sent: u64,
 }
@@ -71,7 +73,7 @@ impl RoundStats {
             }
             ProtocolEvent::RingReset { .. } => self.ring_resets += 1,
             ProtocolEvent::PointerSalvaged { .. } => self.pointers_salvaged += 1,
-            ProtocolEvent::NeighborAdopted { .. } => {}
+            ProtocolEvent::NeighborAdopted { .. } => self.neighbor_adoptions += 1,
         }
     }
 }
@@ -130,14 +132,16 @@ impl Trace {
 
     /// Largest link age seen at any forget event.
     pub fn max_forget_age(&self) -> u64 {
-        self.rounds.iter().map(|r| r.forget_age_max).max().unwrap_or(0)
+        self.rounds
+            .iter()
+            .map(|r| r.forget_age_max)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The last round in which a probe repair happened, if any.
     pub fn last_probe_repair_round(&self) -> Option<usize> {
-        self.rounds
-            .iter()
-            .rposition(|r| r.probe_repairs > 0)
+        self.rounds.iter().rposition(|r| r.probe_repairs > 0)
     }
 
     /// Total tracked-id messages (see `Network::track_id`).
@@ -149,7 +153,10 @@ impl Trace {
     /// overhead measurements).
     pub fn sent_in_last(&self, window: usize) -> u64 {
         let start = self.rounds.len().saturating_sub(window);
-        self.rounds[start..].iter().map(RoundStats::total_sent).sum()
+        self.rounds[start..]
+            .iter()
+            .map(RoundStats::total_sent)
+            .sum()
     }
 }
 
@@ -181,6 +188,12 @@ mod tests {
         r.count_event(&ProtocolEvent::LrlForgotten { age: 4 });
         r.count_event(&ProtocolEvent::RingReset { to: None });
         r.count_event(&ProtocolEvent::PointerSalvaged { value: b });
+        r.count_event(&ProtocolEvent::NeighborAdopted {
+            side: swn_core::outbox::Side::Left,
+            old: swn_core::id::Extended::NegInf,
+            new: b,
+        });
+        assert_eq!(r.neighbor_adoptions, 1);
         assert_eq!(r.probe_repairs, 1);
         assert_eq!(r.lrl_moves, 1);
         assert_eq!(r.lrl_forgets, 2);

@@ -182,7 +182,7 @@ mod tests {
         // For max_d = 4 use counts proportional to 12/d: 12, 6, 4, 3.
         let mut lengths = Vec::new();
         for (d, c) in [(1usize, 12usize), (2, 6), (3, 4), (4, 3)] {
-            lengths.extend(std::iter::repeat(d).take(c));
+            lengths.extend(std::iter::repeat_n(d, c));
         }
         assert!(ks_to_harmonic(&lengths, 4) < 1e-12);
     }
@@ -240,7 +240,9 @@ mod tests {
     #[test]
     fn sampled_harmonic_passes_its_own_ks() {
         let mut rng = StdRng::seed_from_u64(1);
-        let lengths: Vec<usize> = (0..20_000).map(|_| sample_harmonic(512, &mut rng)).collect();
+        let lengths: Vec<usize> = (0..20_000)
+            .map(|_| sample_harmonic(512, &mut rng))
+            .collect();
         let ks = ks_to_harmonic(&lengths, 512);
         assert!(ks < 0.02, "self-KS too large: {ks}");
     }
@@ -248,7 +250,9 @@ mod tests {
     #[test]
     fn log_log_slope_of_harmonic_is_minus_one() {
         let mut rng = StdRng::seed_from_u64(2);
-        let lengths: Vec<usize> = (0..50_000).map(|_| sample_harmonic(1024, &mut rng)).collect();
+        let lengths: Vec<usize> = (0..50_000)
+            .map(|_| sample_harmonic(1024, &mut rng))
+            .collect();
         let slope = log_log_slope(&lengths, 1024).expect("enough bins");
         assert!(
             (-1.25..=-0.8).contains(&slope),

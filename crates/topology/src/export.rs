@@ -123,7 +123,10 @@ mod tests {
         let s = Snapshot::from_nodes(nodes);
         let dot = snapshot_to_dot(&s, "net");
         assert!(dot.contains("color=gray40"), "list links styled");
-        assert!(dot.contains("style=dashed, color=blue"), "ring edges styled");
+        assert!(
+            dot.contains("style=dashed, color=blue"),
+            "ring edges styled"
+        );
         assert!(dot.contains("style=bold, color=red"), "lrl styled");
         assert!(dot.contains("1 -> 4 [style=bold, color=red];"));
     }

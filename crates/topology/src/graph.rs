@@ -39,7 +39,7 @@ impl Graph {
         let order = s.sorted_indices();
         let mut rank_of = vec![0u32; s.len()];
         for (rank, &idx) in order.iter().enumerate() {
-            rank_of[idx] = rank as u32;
+            rank_of[idx] = u32::try_from(rank).expect("graph rank fits u32");
         }
         let mut g = Graph::new(s.len());
         for (u, v) in s.edges(view) {
@@ -53,7 +53,7 @@ impl Graph {
         if u == v {
             return;
         }
-        let vv = v as u32;
+        let vv = u32::try_from(v).expect("graph node index fits u32");
         if !self.adj[u].contains(&vv) {
             self.adj[u].push(vv);
             self.m += 1;
@@ -161,8 +161,15 @@ mod tests {
         let g = Graph::from_snapshot(&s, View::Lcp);
         // Sorted list: rank i ↔ rank i+1.
         for i in 0..4 {
-            assert!(g.neighbors(i).contains(&((i + 1) as u32)), "missing {i}→{}", i + 1);
-            assert!(g.neighbors(i + 1).contains(&(i as u32)));
+            assert!(
+                g.neighbors(i)
+                    .contains(&u32::try_from(i + 1).expect("fits u32")),
+                "missing {i}→{}",
+                i + 1
+            );
+            assert!(g
+                .neighbors(i + 1)
+                .contains(&u32::try_from(i).expect("fits u32")));
         }
         let r = Graph::from_snapshot(&s, View::Rcp);
         assert!(r.neighbors(0).contains(&4), "ring edge min→max");

@@ -16,6 +16,7 @@
 //!   success);
 //! * [`export`] — Graphviz DOT rendering of graphs and snapshots.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clustering;

@@ -61,7 +61,11 @@ fn accumulate(g: &Graph, sources: &[usize]) -> PathStats {
         }
     }
     PathStats {
-        avg: if cnt == 0 { 0.0 } else { sum as f64 / cnt as f64 },
+        avg: if cnt == 0 {
+            0.0
+        } else {
+            sum as f64 / cnt as f64
+        },
         diameter,
         unreachable_pairs: unreachable,
     }
@@ -146,7 +150,12 @@ mod tests {
         let st = path_stats_exact(&g);
         // One chord cannot reduce the antipodal diameter of C16, but the
         // characteristic path length must drop (the small-world effect).
-        assert!(st.avg < base.avg, "chord must shrink L: {} vs {}", st.avg, base.avg);
+        assert!(
+            st.avg < base.avg,
+            "chord must shrink L: {} vs {}",
+            st.avg,
+            base.avg
+        );
         let und = g.undirected_view();
         assert_eq!(bfs_distances(&und, 0)[8], 1);
     }

@@ -40,6 +40,8 @@ pub struct RobustnessPoint {
 pub fn removal_mask(g: &Graph, frac: f64, mode: FailureMode, seed: u64) -> Vec<bool> {
     assert!((0.0..=1.0).contains(&frac), "fraction out of range: {frac}");
     let n = g.n();
+    // frac ∈ [0, 1] (asserted above), so the product is in [0, n].
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let k = ((n as f64) * frac).floor() as usize;
     let mut removed = vec![false; n];
     match mode {
@@ -85,7 +87,7 @@ pub fn sweep(
             let routing = evaluate_routing(
                 &damaged,
                 routing_pairs,
-                (4 * n as u32).max(64),
+                (4 * u32::try_from(n).expect("graph size fits u32")).max(64),
                 seed ^ 0xabcd,
                 Some(&alive),
             );
@@ -149,13 +151,7 @@ mod tests {
     #[test]
     fn giant_component_degrades_with_removal() {
         let g = ring_with_chords(64);
-        let pts = sweep(
-            &g,
-            &[0.0, 0.3, 0.6],
-            FailureMode::Random,
-            100,
-            7,
-        );
+        let pts = sweep(&g, &[0.0, 0.3, 0.6], FailureMode::Random, 100, 7);
         assert!(pts[0].giant_frac >= pts[2].giant_frac - 1e-9);
     }
 

@@ -59,7 +59,7 @@ pub fn greedy_route(g: &Graph, src: usize, dst: usize, max_hops: u32) -> RouteRe
         let mut best: Option<(usize, usize)> = None; // (distance, node)
         for &v in g.neighbors(cur) {
             let d = ring_distance(v as usize, dst, n);
-            if d < here && best.map_or(true, |(bd, bv)| d < bd || (d == bd && (v as usize) < bv)) {
+            if d < here && best.is_none_or(|(bd, bv)| d < bd || (d == bd && (v as usize) < bv)) {
                 best = Some((d, v as usize));
             }
         }
@@ -68,7 +68,12 @@ pub fn greedy_route(g: &Graph, src: usize, dst: usize, max_hops: u32) -> RouteRe
                 cur = v;
                 hops += 1;
             }
-            None => return RouteResult::Stuck { at: cur, after: hops },
+            None => {
+                return RouteResult::Stuck {
+                    at: cur,
+                    after: hops,
+                }
+            }
         }
     }
     RouteResult::Arrived(hops)
@@ -121,7 +126,7 @@ pub fn evaluate_routing(
     }
     let draw = |rng: &mut StdRng| loop {
         let v = rng.random_range(0..n);
-        if alive.map_or(true, |a| a[v]) {
+        if alive.is_none_or(|a| a[v]) {
             return v;
         }
     };
@@ -139,9 +144,10 @@ pub fn evaluate_routing(
     }
     if !hops_all.is_empty() {
         hops_all.sort_unstable();
-        stats.mean_hops =
-            hops_all.iter().map(|&h| h as f64).sum::<f64>() / hops_all.len() as f64;
+        stats.mean_hops = hops_all.iter().map(|&h| h as f64).sum::<f64>() / hops_all.len() as f64;
         stats.max_hops = *hops_all.last().expect("non-empty");
+        // len·0.99 is in [0, len], non-negative by construction.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let idx = ((hops_all.len() as f64) * 0.99).ceil() as usize;
         stats.p99_hops = hops_all[idx.saturating_sub(1).min(hops_all.len() - 1)];
     }
@@ -211,7 +217,11 @@ mod tests {
         assert_eq!(stats.attempts, 500);
         assert_eq!(stats.delivered, 500);
         // Mean ring distance over random pairs ≈ n/4 = 8.
-        assert!((6.0..10.0).contains(&stats.mean_hops), "{}", stats.mean_hops);
+        assert!(
+            (6.0..10.0).contains(&stats.mean_hops),
+            "{}",
+            stats.mean_hops
+        );
         assert!(stats.max_hops <= 16);
         assert!(stats.p99_hops <= stats.max_hops);
         assert_eq!(stats.success_rate(), 1.0);
@@ -221,8 +231,8 @@ mod tests {
     fn evaluate_routing_respects_alive_mask() {
         let g = ring(16);
         let mut alive = vec![true; 16];
-        for i in 8..16 {
-            alive[i] = false;
+        for a in &mut alive[8..16] {
+            *a = false;
         }
         let damaged = g.without_nodes(&alive.iter().map(|&a| !a).collect::<Vec<_>>());
         let stats = evaluate_routing(&damaged, 200, 100, 9, Some(&alive));

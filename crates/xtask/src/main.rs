@@ -1,0 +1,84 @@
+//! `cargo xtask <command>` — repo automation.
+//!
+//! ```text
+//! cargo xtask lint [path ...]
+//! ```
+//!
+//! `lint` runs the protocol-conformance rules of [`xtask::lint_source`]
+//! over the workspace (default) or over explicit files/directories
+//! (e.g. `cargo xtask lint crates/xtask/fixtures` to watch it fail).
+//! Exits 1 when any rule fires.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use xtask::{lint_repo, lint_source, Violation};
+
+fn usage() -> ! {
+    eprintln!("usage: cargo xtask lint [path ...]");
+    std::process::exit(2);
+}
+
+/// Workspace root: `cargo xtask` runs with the workspace as cwd (the
+/// alias lives in `.cargo/config.toml` there), so prefer cwd when it
+/// holds a workspace manifest, falling back to two levels above this
+/// crate for direct `cargo run -p xtask` invocations from elsewhere.
+fn workspace_root() -> PathBuf {
+    if let Ok(cwd) = std::env::current_dir() {
+        if cwd.join("Cargo.toml").is_file() && cwd.join("crates").is_dir() {
+            return cwd;
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn lint_explicit(paths: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = paths.iter().map(PathBuf::from).collect();
+    while let Some(p) = stack.pop() {
+        if p.is_dir() {
+            if let Ok(entries) = std::fs::read_dir(&p) {
+                stack.extend(entries.flatten().map(|e| e.path()));
+            }
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            match std::fs::read_to_string(&p) {
+                Ok(src) => out.extend(lint_source(&p.to_string_lossy(), &src)),
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", p.display());
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            eprintln!("error: {} is not a .rs file or directory", p.display());
+            std::process::exit(2);
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let violations = if args.len() > 1 {
+                lint_explicit(&args[1..])
+            } else {
+                lint_repo(&workspace_root())
+            };
+            if violations.is_empty() {
+                println!("xtask lint: clean");
+                return;
+            }
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!("xtask lint: {} violation(s)", violations.len());
+            std::process::exit(1);
+        }
+        _ => usage(),
+    }
+}

@@ -59,7 +59,10 @@ fn main() {
     println!("reading the table: the small world has no hubs, so a targeted attack");
     println!("buys the adversary almost nothing over random failure. Idealized Chord");
     println!("is more robust in absolute terms — it pays Θ(log n) links per node for");
-    println!("it ({:.0}x the state) — but that state is static: once fingers die they", ch_deg / sw_deg);
+    println!(
+        "it ({:.0}x the state) — but that state is static: once fingers die they",
+        ch_deg / sw_deg
+    );
     println!("stay dead, while the self-stabilizing protocol continuously rebuilds");
     println!("its 3 links per node (see the overlay_churn example).");
 }

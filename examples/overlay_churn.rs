@@ -22,13 +22,17 @@ fn main() {
     let ids = evenly_spaced_ids(n0);
     let mut net = Network::new(make_sorted_ring(&ids, cfg), 7);
     net.run(2000);
-    println!("bootstrapped {} peers, phase {:?}", net.len(), classify(&net.snapshot()));
+    println!(
+        "bootstrapped {} peers, phase {:?}",
+        net.len(),
+        classify(&net.snapshot())
+    );
 
     // Churn storm: alternate joins and leaves, measuring each recovery.
     let mut joins = 0u32;
     let mut leaves = 0u32;
-    for event in 0..10 {
-        if event % 2 == 0 {
+    for event in 0u64..10 {
+        if event.is_multiple_of(2) {
             // Join: a fresh peer contacts a random existing one.
             let existing = net.ids();
             let contact = existing[rng.random_range(0..existing.len())];
@@ -48,7 +52,7 @@ fn main() {
                 rep.path_nodes,
             );
         } else {
-            let (victim, rep) = leave_random(&mut net, 1000 + event as u64, 200_000);
+            let (victim, rep) = leave_random(&mut net, 1000 + event, 200_000);
             leaves += 1;
             println!(
                 "leave {:>8}                 -> healed in  {:>4} rounds, {} messages",

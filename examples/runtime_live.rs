@@ -22,22 +22,22 @@ fn main() {
     let mut order: Vec<_> = ids.clone();
     // Deterministic interleave scramble.
     order.sort_by_key(|id| id.bits().wrapping_mul(0x9e3779b97f4a7c15));
-    let nodes: Vec<Node> = order
-        .windows(2)
-        .map(|w| (w[0], w[1]))
-        .fold(
-            order.iter().map(|&id| Node::new(id, cfg)).collect::<Vec<_>>(),
-            |mut nodes, (u, v)| {
-                let node = nodes.iter_mut().find(|n| n.id() == u).expect("present");
-                let (l, r) = if v < u {
-                    (Extended::Fin(v), node.right())
-                } else {
-                    (node.left(), Extended::Fin(v))
-                };
-                *node = Node::with_state(u, l, r, u, None, cfg);
-                nodes
-            },
-        );
+    let nodes: Vec<Node> = order.windows(2).map(|w| (w[0], w[1])).fold(
+        order
+            .iter()
+            .map(|&id| Node::new(id, cfg))
+            .collect::<Vec<_>>(),
+        |mut nodes, (u, v)| {
+            let node = nodes.iter_mut().find(|n| n.id() == u).expect("present");
+            let (l, r) = if v < u {
+                (Extended::Fin(v), node.right())
+            } else {
+                (node.left(), Extended::Fin(v))
+            };
+            *node = Node::with_state(u, l, r, u, None, cfg);
+            nodes
+        },
+    );
 
     let rt = Runtime::spawn(nodes, RuntimeConfig::default());
     let start = Instant::now();

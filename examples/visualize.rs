@@ -49,14 +49,20 @@ fn main() -> std::io::Result<()> {
     std::fs::write(&json_path, snapshot_to_json(&fin))?;
     println!("wrote {}", dot_path.display());
     println!("wrote {}", json_path.display());
-    println!("render with: neato -n2 -Tsvg {} -o smallworld.svg", dot_path.display());
+    println!(
+        "render with: neato -n2 -Tsvg {} -o smallworld.svg",
+        dot_path.display()
+    );
 
     // Round trip: restore the checkpoint and keep running.
     let restored = snapshot_from_json(&std::fs::read_to_string(&json_path)?)
         .expect("own checkpoint must parse");
     let mut net2 = network_from_snapshot(&restored, 999);
     net2.run(100);
-    assert!(is_sorted_ring(&net2.snapshot()), "restored network stays stable");
+    assert!(
+        is_sorted_ring(&net2.snapshot()),
+        "restored network stays stable"
+    );
     println!("checkpoint restored and verified: still a sorted ring after 100 more rounds");
     Ok(())
 }

@@ -43,6 +43,7 @@
 //! See `examples/` for runnable scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment-by-experiment reproduction record.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use swn_baselines as baselines;

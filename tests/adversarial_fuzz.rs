@@ -34,7 +34,11 @@ fn fuzz_network(
             } else {
                 Extended::Fin(pick(r))
             };
-            let ring = if mode & 4 == 0 { None } else { Some(pick(ring)) };
+            let ring = if mode & 4 == 0 {
+                None
+            } else {
+                Some(pick(ring))
+            };
             Node::with_state(ids[i], l, r, pick(lrl), ring, cfg)
         })
         .collect();

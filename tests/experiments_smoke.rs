@@ -8,7 +8,12 @@ use swn_harness::*;
 
 fn check(t: &Table, min_rows: usize) {
     assert!(!t.title.is_empty());
-    assert!(t.rows.len() >= min_rows, "{}: only {} rows", t.title, t.rows.len());
+    assert!(
+        t.rows.len() >= min_rows,
+        "{}: only {} rows",
+        t.title,
+        t.rows.len()
+    );
     for row in &t.rows {
         assert_eq!(row.len(), t.headers.len(), "{}: ragged row", t.title);
     }

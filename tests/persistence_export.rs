@@ -55,8 +55,8 @@ fn checkpoint_preserves_in_flight_messages() {
 #[test]
 fn dot_export_of_stabilized_network() {
     let ids = evenly_spaced_ids(16);
-    let mut net = generate(InitialTopology::Clique, &ids, ProtocolConfig::default(), 4)
-        .into_network(4);
+    let mut net =
+        generate(InitialTopology::Clique, &ids, ProtocolConfig::default(), 4).into_network(4);
     let rep = run_to_ring(&mut net, 100_000);
     assert!(rep.stabilized());
     net.run(500); // let some tokens wander
@@ -65,9 +65,15 @@ fn dot_export_of_stabilized_network() {
     let dot = snapshot_to_dot(&s, "stable");
     // Every rank appears as a node and the seam ring edges are rendered.
     for rank in 0..16 {
-        assert!(dot.contains(&format!("{rank} [pos=")), "rank {rank} missing");
+        assert!(
+            dot.contains(&format!("{rank} [pos=")),
+            "rank {rank} missing"
+        );
     }
-    assert!(dot.contains("style=dashed, color=blue"), "ring edges missing");
+    assert!(
+        dot.contains("style=dashed, color=blue"),
+        "ring edges missing"
+    );
     assert!(dot.contains("color=gray40"), "list links missing");
 
     // The plain-graph exporter agrees on edge count with the CP view.

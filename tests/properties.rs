@@ -170,7 +170,7 @@ proptest! {
         }
         // With the bidirectional ring intact, greedy always has a strictly
         // improving neighbour, so it must arrive within n/2 + 1 hops...
-        match greedy_route(&g, s, t, n as u32) {
+        match greedy_route(&g, s, t, u32::try_from(n).expect("n fits u32")) {
             RouteResult::Arrived(h) => prop_assert!(h as usize <= n / 2),
             other => prop_assert!(false, "unexpected {other:?}"),
         }
@@ -218,6 +218,51 @@ proptest! {
         let report = run_to_ring(&mut net, 500_000);
         prop_assert!(report.stabilized());
         prop_assert!(report.monotone);
+    }
+
+    #[test]
+    fn phase_predicates_monotone_along_random_fair_executions(
+        n in 2usize..10,
+        seed: u64,
+        family_idx in 0usize..8,
+        p_deliver in 0.2f64..1.0,
+    ) {
+        // The analyzer's monotone predicates, checked along *random*
+        // fair executions rather than enumerated ones: under adversarial
+        // bounded-delay asynchrony, weak CC-connectivity, the sorted
+        // list and the sorted ring are never true in one round and false
+        // in a later one. (LCC connectivity is excluded by design: a lin
+        // edge legitimately leaves the linearization view while its
+        // identifier rides an lrl/ring variable.)
+        let family = InitialTopology::ALL[family_idx];
+        let ids = evenly_spaced_ids(n);
+        let mut net = generate(family, &ids, ProtocolConfig::default(), seed)
+            .into_network_with_policy(
+                seed,
+                DeliveryPolicy::RandomDelay {
+                    p_deliver,
+                    max_delay: 8,
+                },
+            );
+        let names = ["weakly_connected(Cc)", "is_sorted_list", "is_sorted_ring"];
+        let mut seen = [false; 3];
+        for round in 0..400u32 {
+            let s = net.snapshot();
+            let now = [
+                weakly_connected(&s, View::Cc),
+                is_sorted_list(&s),
+                is_sorted_ring(&s),
+            ];
+            for k in 0..3 {
+                prop_assert!(
+                    now[k] || !seen[k],
+                    "{} flipped true -> false by round {} ({:?}, n = {}, seed = {})",
+                    names[k], round, family, n, seed
+                );
+                seen[k] = seen[k] || now[k];
+            }
+            net.step();
+        }
     }
 }
 

@@ -9,11 +9,7 @@ use self_stabilizing_smallworld::prelude::*;
 use swn_sim::init::generate;
 use swn_topology::connectivity::{is_strongly_connected, is_weakly_connected};
 
-fn stabilize(
-    family: InitialTopology,
-    ids: &[NodeId],
-    seed: u64,
-) -> (Network, ConvergenceReport) {
+fn stabilize(family: InitialTopology, ids: &[NodeId], seed: u64) -> (Network, ConvergenceReport) {
     let cfg = ProtocolConfig::default();
     let mut net = generate(family, ids, cfg, seed).into_network(seed);
     let report = run_to_ring(&mut net, 2_000_000);
@@ -58,7 +54,7 @@ fn stability_is_preserved_indefinitely() {
         assert_eq!(classify(&net.snapshot()), Phase::SortedRing);
     }
     // No probe ever repaired anything after stabilization.
-    let after = report.rounds_run as usize;
+    let after = usize::try_from(report.rounds_run).expect("rounds fit usize");
     let repairs_after: u64 = net.trace().rounds()[after..]
         .iter()
         .map(|r| r.probe_repairs)
@@ -113,7 +109,11 @@ fn long_range_links_spread_after_stabilization() {
     let (mut net, _) = stabilize(InitialTopology::RandomSparse { extra: 2 }, &ids, 21);
     net.run(3000);
     let lengths = lrl_lengths(&net.snapshot());
-    assert!(lengths.len() > 32, "tokens failed to spread: {}", lengths.len());
+    assert!(
+        lengths.len() > 32,
+        "tokens failed to spread: {}",
+        lengths.len()
+    );
     assert!(
         lengths.iter().any(|&d| d >= 4),
         "no long link ever formed: {lengths:?}"
@@ -142,7 +142,12 @@ fn greedy_routing_works_on_every_stabilized_family() {
             "{}: routing failures on a ring-backed graph",
             family.label()
         );
-        assert!(stats.mean_hops < 24.0, "{}: {} hops", family.label(), stats.mean_hops);
+        assert!(
+            stats.mean_hops < 24.0,
+            "{}: {} hops",
+            family.label(),
+            stats.mean_hops
+        );
     }
 }
 

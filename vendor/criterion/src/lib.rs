@@ -1,0 +1,255 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter` / `iter_batched`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a plain
+//! wall-clock median estimator instead of criterion's statistical
+//! pipeline. Good enough to smoke-test that benches run and to get a
+//! rough number; not a rigorous measurement tool.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IdLabel, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.label(), self.sample_size, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark; `input` is passed through to the
+    /// closure alongside the bencher.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IdLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&id.label(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus a `Display`able parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `name/param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{param}", name.into()),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IdLabel {
+    /// The display label for reports.
+    fn label(&self) -> String;
+}
+
+impl IdLabel for BenchmarkId {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+impl IdLabel for &str {
+    fn label(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLabel for String {
+    fn label(&self) -> String {
+        self.clone()
+    }
+}
+
+/// How `iter_batched` amortises setup cost (all variants behave the
+/// same here: one setup per routine call).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Times closures under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let samples = self.samples.capacity();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let iters = u32::try_from(self.iters_per_sample).unwrap_or(u32::MAX);
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let samples = self.samples.capacity();
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    bencher.samples.sort_unstable();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "bench {label}: median {median:?} over {} samples",
+        bencher.samples.len()
+    );
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u64;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        group.finish();
+        assert!(calls >= 3);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).bench_with_input(
+            BenchmarkId::new("sum", 4usize),
+            &vec![1u64, 2, 3, 4],
+            |b, v| {
+                b.iter_batched(
+                    || v.clone(),
+                    |owned| owned.iter().sum::<u64>(),
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        group.finish();
+    }
+}

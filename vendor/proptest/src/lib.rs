@@ -1,0 +1,759 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with `name: Type` and `name in strategy`
+//! parameters and `#![proptest_config(...)]`), range / `any` / tuple /
+//! [`option::of`] / [`collection::vec`] strategies, `prop_assert*`
+//! macros, deterministic seeding (override with the `PROPTEST_SEED`
+//! environment variable), and greedy counterexample shrinking.
+//!
+//! The real proptest separates generation from shrinking with value
+//! trees; this stand-in keeps a strategy-side `shrink(value) →
+//! candidates` function and a greedy fixpoint loop, which shrinks the
+//! same counterexamples at small scale with far less machinery.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies during generation.
+pub type TestRng = StdRng;
+
+/// A generator of test inputs with an attached shrinker.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: Clone + fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" variants of `value`. Returning an
+    /// empty vector means the value is fully shrunk.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integer / float range strategies
+// ---------------------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *value;
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mid = lo + (v - lo) / 2;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+                if v - 1 != lo && (mid == lo || v - 1 != mid) {
+                    out.push(v - 1);
+                }
+                out
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                (*self.start()..*self.end()).shrink(value)
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *value;
+                // NaN compares false: nothing to shrink toward.
+                if v <= lo || v.is_nan() {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mid = lo + (v - lo) / 2.0;
+                if mid > lo && mid < v {
+                    out.push(mid);
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Clone + fmt::Debug + Sized {
+    /// Draws an arbitrary value (edge cases included).
+    fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Proposes smaller variants (toward zero / `false`).
+    fn shrink_value(value: &Self) -> Vec<Self>;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mildly edge-biased: bugs cluster at 0 and MAX.
+                match rng.random_range(0u8..16) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => 1,
+                    _ => rng.random::<$t>(),
+                }
+            }
+
+            fn shrink_value(value: &Self) -> Vec<Self> {
+                let v = *value;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2];
+                if v / 2 != v - 1 {
+                    out.push(v - 1);
+                }
+                out.retain(|&c| c != v);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random()
+    }
+
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.random_range(0u8..8) {
+            0 => 0.0,
+            1 => 1.0,
+            2 => -1.0,
+            _ => (rng.random::<f64>() - 0.5) * 2e9,
+        }
+    }
+
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        let v = *value;
+        if v == 0.0 {
+            return Vec::new();
+        }
+        vec![0.0, v / 2.0]
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// An arbitrary value of `T`, edge cases included.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_value(value)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// ---------------------------------------------------------------------
+// option / collection combinators
+// ---------------------------------------------------------------------
+
+/// Strategies over `Option<T>`.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.random_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            match value {
+                None => Vec::new(),
+                Some(v) => std::iter::once(None)
+                    .chain(self.inner.shrink(v).into_iter().map(Some))
+                    .collect(),
+            }
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length constraint for [`vec`]; built from `usize` ranges.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_excl: r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements
+    /// come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.random_range(self.size.min..self.size.max_excl);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            let len = value.len();
+            // Structural shrinks first (shorter vectors), never below
+            // the configured minimum length.
+            if len > self.size.min {
+                out.push(value[..self.size.min].to_vec());
+                let half = self.size.min + (len - self.size.min) / 2;
+                if half != self.size.min && half != len {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..len - 1].to_vec());
+                for idx in 0..len.min(8) {
+                    let mut shorter = value.clone();
+                    shorter.remove(idx);
+                    out.push(shorter);
+                }
+            }
+            // Element-wise shrinks, bounded so candidate lists stay
+            // small on long vectors.
+            for idx in 0..len.min(16) {
+                for candidate in self.elem.shrink(&value[idx]).into_iter().take(2) {
+                    let mut next = value.clone();
+                    next[idx] = candidate;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Upper bound on shrink iterations after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+/// A failed test case (produced by the `prop_assert*` macros).
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// Assertion failure with its message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => f.write_str(m),
+        }
+    }
+}
+
+/// The case loop behind the [`proptest!`] macro.
+pub mod runner {
+    use super::{ProptestConfig, Strategy, TestCaseError, TestRng};
+    use rand::SeedableRng;
+
+    fn default_seed(name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.trim().parse() {
+                return seed;
+            }
+        }
+        // FNV-1a over the test name: deterministic per test, different
+        // across tests.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `test` against `config.cases` generated inputs, shrinking
+    /// the first failure to a (locally) minimal counterexample.
+    pub fn run<S, F>(name: &str, config: ProptestConfig, strategy: S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let seed = default_seed(name);
+        let mut rng = TestRng::seed_from_u64(seed);
+        for case in 0..config.cases {
+            let input = strategy.generate(&mut rng);
+            if let Err(err) = test(input.clone()) {
+                let (minimal, minimal_err, steps) =
+                    shrink(&strategy, input, err, &test, config.max_shrink_iters);
+                panic!(
+                    "proptest `{name}` failed (seed={seed}, case {case}/{}, \
+                     shrunk {steps} steps)\nminimal failing input: {minimal:#?}\n{minimal_err}",
+                    config.cases
+                );
+            }
+        }
+    }
+
+    fn shrink<S, F>(
+        strategy: &S,
+        mut current: S::Value,
+        mut err: TestCaseError,
+        test: &F,
+        max_iters: u32,
+    ) -> (S::Value, TestCaseError, u32)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut steps = 0;
+        let mut budget = max_iters;
+        'outer: while budget > 0 {
+            for candidate in strategy.shrink(&current) {
+                budget = budget.saturating_sub(1);
+                if budget == 0 {
+                    break 'outer;
+                }
+                if let Err(e) = test(candidate.clone()) {
+                    current = candidate;
+                    err = e;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (current, err, steps)
+    }
+}
+
+/// The usual import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Defines property tests. Supports `name: Type` (sugar for
+/// `any::<Type>()`) and `name in strategy` parameters, plus an optional
+/// leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_params! {
+                ($cfg) ($name) () () ($($params)*) ($body)
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_params {
+    // `name in strategy, ...`
+    ( ($cfg:expr) ($name:ident) ($($p:ident)*) ($($s:expr,)*) ($pn:ident in $strat:expr, $($rest:tt)*) ($body:block) ) => {
+        $crate::__proptest_params! {
+            ($cfg) ($name) ($($p)* $pn) ($($s,)* $strat,) ($($rest)*) ($body)
+        }
+    };
+    // `name in strategy` (final)
+    ( ($cfg:expr) ($name:ident) ($($p:ident)*) ($($s:expr,)*) ($pn:ident in $strat:expr) ($body:block) ) => {
+        $crate::__proptest_params! {
+            ($cfg) ($name) ($($p)* $pn) ($($s,)* $strat,) () ($body)
+        }
+    };
+    // `name: Type, ...`
+    ( ($cfg:expr) ($name:ident) ($($p:ident)*) ($($s:expr,)*) ($pn:ident : $ty:ty, $($rest:tt)*) ($body:block) ) => {
+        $crate::__proptest_params! {
+            ($cfg) ($name) ($($p)* $pn) ($($s,)* $crate::any::<$ty>(),) ($($rest)*) ($body)
+        }
+    };
+    // `name: Type` (final)
+    ( ($cfg:expr) ($name:ident) ($($p:ident)*) ($($s:expr,)*) ($pn:ident : $ty:ty) ($body:block) ) => {
+        $crate::__proptest_params! {
+            ($cfg) ($name) ($($p)* $pn) ($($s,)* $crate::any::<$ty>(),) () ($body)
+        }
+    };
+    // All parameters consumed: emit the runner call.
+    ( ($cfg:expr) ($name:ident) ($($p:ident)*) ($($s:expr,)*) () ($body:block) ) => {
+        $crate::runner::run(
+            concat!(module_path!(), "::", stringify!($name)),
+            $cfg,
+            ($($s,)*),
+            |($($p,)*)| {
+                $body
+                ::core::result::Result::Ok(())
+            },
+        )
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body; failures are recorded
+/// for shrinking instead of panicking immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::runner;
+    use crate::Strategy;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let s = 10u64..20;
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+        for c in s.shrink(&15) {
+            assert!((10..15).contains(&c));
+        }
+        assert!(s.shrink(&10).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len() {
+        let s = crate::collection::vec(0u64..10, 2..6);
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+        for c in s.shrink(&vec![5, 5, 5, 5, 5]) {
+            assert!(c.len() >= 2, "shrank below min: {c:?}");
+        }
+    }
+
+    #[test]
+    fn shrinking_finds_small_counterexample() {
+        // The property "v < 50" fails from 50 up; greedy shrinking must
+        // land on exactly 50.
+        let strategy = (0u64..1000,);
+        let mut failing = None;
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            if v.0 >= 50 {
+                failing = Some(v);
+                break;
+            }
+        }
+        let failing = failing.expect("uniform draw over 0..1000 hits >= 50");
+        let test = |v: (u64,)| -> Result<(), TestCaseError> {
+            if v.0 >= 50 {
+                Err(TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let mut current = failing;
+        loop {
+            let next = strategy
+                .shrink(&current)
+                .into_iter()
+                .find(|&c| test(c).is_err());
+            match next {
+                Some(c) => current = c,
+                None => break,
+            }
+        }
+        assert_eq!(current.0, 50);
+    }
+
+    #[test]
+    fn macro_end_to_end() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[allow(unused)]
+            fn addition_commutes(a: u64, b in 0u64..100) {
+                prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+                prop_assert!(b < 100, "range bound violated: {b}");
+            }
+        }
+        addition_commutes();
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn failing_property_panics_with_shrunk_input() {
+        runner::run(
+            "deliberate_failure",
+            ProptestConfig::with_cases(64),
+            (0u64..1000,),
+            |(v,)| {
+                if v >= 3 {
+                    Err(TestCaseError::fail("v too large"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }
+}

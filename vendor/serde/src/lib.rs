@@ -1,0 +1,436 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde pivots on visitor-based `Serializer`/`Deserializer`
+//! traits so that formats can stream without an intermediate tree. This
+//! workspace only ever serializes snapshots and experiment tables to
+//! JSON, so the vendored stand-in collapses the data model to one
+//! self-describing [`Value`] tree: `Serialize` renders into a `Value`,
+//! `Deserialize` rebuilds from one, and `serde_json` (also vendored)
+//! converts `Value` to and from JSON text.
+//!
+//! Conventions match real serde's external tagging so the JSON on disk
+//! looks like what the real crate would emit: unit enum variants are
+//! strings, data-carrying variants are single-key maps, newtype structs
+//! are transparent, and struct fields appear in declaration order.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use helpers::DeError;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every serializable type renders into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` / a missing `Option`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::try_from(*self).expect("unsigned fits u64"))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => {
+                        u64::try_from(*n).expect("non-negative i64 fits u64")
+                    }
+                    other => return Err(DeError::type_mismatch(stringify!($t), other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::try_from(*self).expect("signed fits i64");
+                if n >= 0 {
+                    Value::U64(u64::try_from(n).expect("non-negative"))
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(|_| {
+                        DeError::new(format!("integer {n} out of range for {}", stringify!($t)))
+                    })?,
+                    other => return Err(DeError::type_mismatch(stringify!($t), other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_sint!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            #[allow(clippy::cast_precision_loss)]
+            Value::U64(n) => Ok(*n as f64),
+            #[allow(clippy::cast_precision_loss)]
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::type_mismatch("f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        #[allow(clippy::cast_possible_truncation)]
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::type_mismatch("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let Value::Seq(items) = v else {
+                    return Err(DeError::type_mismatch("tuple", v));
+                };
+                let expected = [$( stringify!($idx) ),+].len();
+                if items.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected tuple of length {expected}, got {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // String-keyed maps render as JSON objects; anything else would
+        // need serde_json's map-key coercion, which nothing here uses.
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        other => panic!("map keys must serialize to strings, got {other:?}"),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Construction helpers shared by the derive macro's generated code.
+/// Not part of real serde's API; everything here is `doc(hidden)`-grade
+/// plumbing kept public so generated code can reach it.
+pub mod helpers {
+    use super::{Deserialize, Value};
+    use std::fmt;
+
+    /// A deserialization error: a human-readable path and reason.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct DeError(String);
+
+    impl DeError {
+        /// Creates an error from a message.
+        pub fn new(msg: impl Into<String>) -> Self {
+            DeError(msg.into())
+        }
+
+        /// A "wrong shape" error naming the expectation and the actual.
+        pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+            let kind = match got {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::U64(_) | Value::I64(_) => "integer",
+                Value::F64(_) => "float",
+                Value::Str(_) => "string",
+                Value::Seq(_) => "sequence",
+                Value::Map(_) => "map",
+            };
+            DeError(format!("expected {expected}, got {kind}"))
+        }
+    }
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    /// Views `v` as a map, or errors naming the containing type.
+    pub fn as_map<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+        match v {
+            Value::Map(entries) => Ok(entries),
+            other => Err(DeError::new(format!(
+                "{ty}: {}",
+                DeError::type_mismatch("map", other)
+            ))),
+        }
+    }
+
+    /// Views `v` as a sequence of exactly `n` elements.
+    pub fn as_seq<'v>(v: &'v Value, n: usize, ty: &str) -> Result<&'v [Value], DeError> {
+        match v {
+            Value::Seq(items) if items.len() == n => Ok(items),
+            Value::Seq(items) => Err(DeError::new(format!(
+                "{ty}: expected {n} elements, got {}",
+                items.len()
+            ))),
+            other => Err(DeError::new(format!(
+                "{ty}: {}",
+                DeError::type_mismatch("sequence", other)
+            ))),
+        }
+    }
+
+    /// Extracts and deserializes the field `name` from a struct map.
+    pub fn field<T: Deserialize>(
+        entries: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, DeError> {
+        let v = entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::new(format!("{ty}: missing field `{name}`")))?;
+        T::from_value(v).map_err(|e| DeError::new(format!("{ty}.{name}: {e}")))
+    }
+
+    /// Views an externally-tagged enum value: either a bare string (unit
+    /// variant) or a single-entry map (data-carrying variant).
+    pub fn variant<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, Option<&'v Value>), DeError> {
+        match v {
+            Value::Str(name) => Ok((name, None)),
+            Value::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(DeError::new(format!(
+                "{ty}: expected variant string or single-key map, got {}",
+                DeError::type_mismatch("variant", other)
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        let s = "hi".to_string();
+        assert_eq!(String::from_value(&s.to_value()), Ok(s));
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&Value::U64(9)), Ok(Some(9)));
+    }
+
+    #[test]
+    fn arrays_enforce_length() {
+        let v = [1u64, 2, 3].to_value();
+        assert_eq!(<[u64; 3]>::from_value(&v), Ok([1, 2, 3]));
+        assert!(<[u64; 4]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+}

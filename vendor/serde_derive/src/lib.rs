@@ -1,0 +1,414 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The registry (and therefore `syn`/`quote`) is unreachable from this
+//! build environment, so the derive macros parse the item declaration
+//! straight off the `proc_macro::TokenStream`: enough of Rust's grammar
+//! to handle the concrete structs and enums this workspace derives on —
+//! named structs, tuple/newtype structs, and enums with unit, tuple and
+//! struct variants. Generics are rejected (nothing in the workspace
+//! derives on a generic type); hitting that limit is a compile error
+//! naming this file, not a silent misbehaviour.
+//!
+//! Generated code targets the vendored `serde`'s `Value` data model and
+//! mirrors real serde's externally-tagged layout, so the JSON written by
+//! `serde_json::to_string` matches what the real stack would produce.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we parsed out of the item a derive is attached to.
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (the vendored stand-in's trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(&gen_serialize(&item))
+}
+
+/// Derives `serde::Deserialize` (the vendored stand-in's trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(&gen_deserialize(&item))
+}
+
+fn render(code: &str) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = expect_any_ident(&tokens, &mut i);
+    let name = expect_any_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive (vendored): unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde_derive (vendored): expected enum body");
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("serde_derive (vendored): cannot derive on `{other}` items"),
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_any_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive (vendored): expected identifier, got {other:?}"),
+    }
+}
+
+/// Extracts field names from the contents of a `{ ... }` struct body.
+/// Type tokens are skipped with angle-bracket tracking so commas inside
+/// generics (`BTreeMap<K, V>`) don't split fields.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = expect_any_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive (vendored): expected `:` after field `{field}`, got {other:?}")
+            }
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+/// Skips type tokens up to (and past) the next top-level `,`, where
+/// "top level" means angle-bracket depth zero. `>>` arrives as two
+/// separate `>` puncts, so simple per-character tracking suffices.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_any_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_type_until_comma(&tokens, &mut i);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect();
+                    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+                // Newtype structs serialize transparently (serde's
+                // convention), longer tuples as sequences.
+                Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Unit => "serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Serialize::to_value(__f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: serde::helpers::field(__m, \"{f}\", \"{name}\")?"))
+                        .collect();
+                    format!(
+                        "let __m = serde::helpers::as_map(__v, \"{name}\")?;\n\
+                         ::core::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Shape::Tuple(1) => format!(
+                    "::core::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::from_value(&__s[{k}])?"))
+                        .collect();
+                    format!(
+                        "let __s = serde::helpers::as_seq(__v, {n}, \"{name}\")?;\n\
+                         ::core::result::Result::Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+                Shape::Unit => format!("::core::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "\"{vn}\" => {{\n\
+                                 let __d = __data.ok_or_else(|| serde::DeError::new(\"{name}::{vn}: missing variant data\"))?;\n\
+                                 ::core::result::Result::Ok({name}::{vn}(serde::Deserialize::from_value(__d)?))\n\
+                             }}"
+                        ),
+                        Shape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&__s[{k}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let __d = __data.ok_or_else(|| serde::DeError::new(\"{name}::{vn}: missing variant data\"))?;\n\
+                                     let __s = serde::helpers::as_seq(__d, {n}, \"{name}::{vn}\")?;\n\
+                                     ::core::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::helpers::field(__m, \"{f}\", \"{name}::{vn}\")?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let __d = __data.ok_or_else(|| serde::DeError::new(\"{name}::{vn}: missing variant data\"))?;\n\
+                                     let __m = serde::helpers::as_map(__d, \"{name}::{vn}\")?;\n\
+                                     ::core::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{\n\
+                         let (__tag, __data) = serde::helpers::variant(__v, \"{name}\")?;\n\
+                         let _ = __data; // unused when every variant is a unit variant\n\
+                         match __tag {{\n{}\n\
+                             __other => ::core::result::Result::Err(serde::DeError::new(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
