@@ -1,0 +1,247 @@
+//! Round-loop benchmark: snapshot-free measurement vs. the old
+//! clone-per-round baseline, plus criterion timings for `Network::step`
+//! and `run_to_ring`.
+//!
+//! Besides the criterion groups, this bench emits `BENCH_roundloop.json`
+//! (at the workspace root, or wherever `SWN_BENCH_OUT` points) recording
+//! the measured speedup of the borrowing-view convergence loop over a
+//! faithful reimplementation of the snapshot-per-round loop it replaced.
+//! Both loops are driven on identically seeded networks and must produce
+//! identical reports — the speedup is pure observation cost.
+//!
+//! `SWN_BENCH_QUICK=1` shrinks the network so CI can smoke-run the bench
+//! in seconds (the vendored criterion stand-in has no CLI quick mode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use swn_core::config::ProtocolConfig;
+use swn_core::id::evenly_spaced_ids;
+use swn_core::invariants::{classify, Phase};
+use swn_sim::convergence::{run_to_ring, ConvergenceReport};
+use swn_sim::init::{generate, InitialTopology};
+use swn_sim::Network;
+
+fn quick_mode() -> bool {
+    std::env::var_os("SWN_BENCH_QUICK").is_some()
+}
+
+fn fresh_net(n: usize, seed: u64) -> Network {
+    let ids = evenly_spaced_ids(n);
+    generate(
+        InitialTopology::RandomSparse { extra: 3 },
+        &ids,
+        ProtocolConfig::default(),
+        seed,
+    )
+    .into_network(seed)
+}
+
+/// The measurement loop exactly as it was before the borrowing view:
+/// clone the entire state and classify it from scratch after every
+/// round. Kept here as the baseline the tentpole is measured against.
+fn run_to_ring_snapshot_baseline(net: &mut Network, max_rounds: u64) -> ConvergenceReport {
+    let mut report = ConvergenceReport {
+        monotone: true,
+        ..Default::default()
+    };
+    let mut best = Phase::Disconnected;
+    let note = |phase: Phase, round: u64, report: &mut ConvergenceReport| {
+        if phase >= Phase::LccConnected && report.rounds_to_lcc.is_none() {
+            report.rounds_to_lcc = Some(round);
+        }
+        if phase >= Phase::SortedList && report.rounds_to_list.is_none() {
+            report.rounds_to_list = Some(round);
+        }
+        if phase >= Phase::SortedRing && report.rounds_to_ring.is_none() {
+            report.rounds_to_ring = Some(round);
+        }
+    };
+    let initial = classify(&net.snapshot());
+    best = best.max(initial);
+    note(initial, 0, &mut report);
+    let mut round = 0;
+    while report.rounds_to_ring.is_none() && round < max_rounds {
+        let stats = net.step();
+        round += 1;
+        report.messages_to_ring += stats.total_sent();
+        if stats.probe_repairs > 0 {
+            report.last_probe_repair = Some(round);
+        }
+        let phase = classify(&net.snapshot());
+        if best >= Phase::SortedList && phase < best {
+            report.monotone = false;
+        }
+        best = best.max(phase);
+        note(phase, round, &mut report);
+    }
+    report.rounds_run = round;
+    report
+}
+
+#[derive(Serialize)]
+struct RoundloopRecord {
+    n: usize,
+    seeds: u64,
+    quick: bool,
+    /// Old loop: snapshot clone + from-scratch classify every round.
+    baseline_ms: f64,
+    /// New loop: borrowing view + dirty-skip + leveled classification.
+    view_ms: f64,
+    /// The bare protocol simulation on the same seeds, no observation —
+    /// the floor both loops share.
+    step_only_ms: f64,
+    /// What the old observation path cost on top of the simulation.
+    baseline_overhead_ms: f64,
+    /// What the new observation path costs on top of the simulation.
+    view_overhead_ms: f64,
+    /// Whole-loop speedup (bounded by the shared simulation cost).
+    loop_speedup: f64,
+    /// Measurement-overhead speedup — the tentpole's ≥5× target: how
+    /// much cheaper observing convergence became per run.
+    overhead_speedup: f64,
+    rounds_run: u64,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn out_path() -> std::path::PathBuf {
+    match std::env::var_os("SWN_BENCH_OUT") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("BENCH_roundloop.json"),
+    }
+}
+
+/// Head-to-head comparison on identical seeds; asserts the two loops
+/// agree on every milestone, then records the speedup.
+fn emit_roundloop_record(c: &mut Criterion) {
+    let quick = quick_mode();
+    let n = if quick { 256 } else { 2048 };
+    let seeds = if quick { 2 } else { 3 };
+    let max_rounds = 200_000;
+
+    let mut baseline = Duration::ZERO;
+    let mut view = Duration::ZERO;
+    let mut step_only = Duration::ZERO;
+    let mut rounds_run = 0;
+    for seed in 1..=seeds {
+        let mut net_a = fresh_net(n, seed);
+        let start = Instant::now();
+        let rep_a = run_to_ring_snapshot_baseline(&mut net_a, max_rounds);
+        baseline += start.elapsed();
+
+        let mut net_b = fresh_net(n, seed);
+        let start = Instant::now();
+        let rep_b = run_to_ring(&mut net_b, max_rounds);
+        view += start.elapsed();
+
+        // The floor: the identical simulation with no observation at all
+        // (same seed → same computation, so the same rounds).
+        let mut net_c = fresh_net(n, seed);
+        let start = Instant::now();
+        net_c.run(rep_b.rounds_run);
+        step_only += start.elapsed();
+
+        assert!(rep_a.stabilized() && rep_b.stabilized(), "seed {seed}");
+        assert_eq!(rep_a.rounds_to_lcc, rep_b.rounds_to_lcc, "seed {seed}");
+        assert_eq!(rep_a.rounds_to_list, rep_b.rounds_to_list, "seed {seed}");
+        assert_eq!(rep_a.rounds_to_ring, rep_b.rounds_to_ring, "seed {seed}");
+        assert_eq!(
+            rep_a.messages_to_ring, rep_b.messages_to_ring,
+            "seed {seed}"
+        );
+        assert_eq!(rep_a.rounds_run, rep_b.rounds_run, "seed {seed}");
+        rounds_run += rep_b.rounds_run;
+    }
+
+    let baseline_overhead = baseline.saturating_sub(step_only);
+    let view_overhead = view.saturating_sub(step_only);
+    let record = RoundloopRecord {
+        n,
+        seeds,
+        quick,
+        baseline_ms: ms(baseline),
+        view_ms: ms(view),
+        step_only_ms: ms(step_only),
+        baseline_overhead_ms: ms(baseline_overhead),
+        view_overhead_ms: ms(view_overhead),
+        loop_speedup: baseline.as_secs_f64() / view.as_secs_f64().max(1e-12),
+        overhead_speedup: baseline_overhead.as_secs_f64() / view_overhead.as_secs_f64().max(1e-12),
+        rounds_run,
+    };
+    let path = out_path();
+    let json = serde_json::to_string(&record).expect("serialize bench record");
+    std::fs::write(&path, json).expect("write BENCH_roundloop.json");
+    println!(
+        "roundloop n={n}: loop {:.1} -> {:.1} ms ({:.2}x), observation overhead \
+         {:.1} -> {:.1} ms ({:.1}x) over a {:.1} ms simulation floor -> {}",
+        record.baseline_ms,
+        record.view_ms,
+        record.loop_speedup,
+        record.baseline_overhead_ms,
+        record.view_overhead_ms,
+        record.overhead_speedup,
+        record.step_only_ms,
+        path.display()
+    );
+
+    // Also register the two loops as criterion benchmarks at a small n so
+    // the numbers land in the regular bench report.
+    let bench_n = if quick { 128 } else { 512 };
+    let mut group = c.benchmark_group("roundloop_run_to_ring");
+    group.sample_size(if quick { 3 } else { 10 });
+    group.bench_with_input(
+        BenchmarkId::new("snapshot_baseline", bench_n),
+        &bench_n,
+        |b, &n| {
+            let mut seed = 100u64;
+            b.iter(|| {
+                seed += 1;
+                let mut net = fresh_net(n, seed);
+                black_box(run_to_ring_snapshot_baseline(&mut net, max_rounds).rounds_to_ring)
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("borrowing_view", bench_n),
+        &bench_n,
+        |b, &n| {
+            let mut seed = 100u64;
+            b.iter(|| {
+                seed += 1;
+                let mut net = fresh_net(n, seed);
+                black_box(run_to_ring(&mut net, max_rounds).rounds_to_ring)
+            });
+        },
+    );
+    group.finish();
+}
+
+/// Per-round cost of the reusable-buffer `step` on a stable network.
+fn bench_step(c: &mut Criterion) {
+    let quick = quick_mode();
+    let mut group = c.benchmark_group("roundloop_step");
+    group.sample_size(if quick { 5 } else { 20 });
+    let sizes: &[usize] = if quick { &[256] } else { &[256, 2048] };
+    for &n in sizes {
+        group.bench_with_input(BenchmarkId::new("stable_step", n), &n, |b, &n| {
+            let ids = evenly_spaced_ids(n);
+            let mut net = Network::new(
+                swn_core::invariants::make_sorted_ring(&ids, ProtocolConfig::default()),
+                7,
+            );
+            net.run(20);
+            b.iter(|| black_box(net.step().total_sent()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, emit_roundloop_record, bench_step);
+criterion_main!(benches);

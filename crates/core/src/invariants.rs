@@ -17,9 +17,16 @@
 //! long-range link live on the ring) is checked here, the distributional
 //! part is measured by `swn-topology`'s harmonic-fit statistics.
 
+//! Every predicate exists in two spellings: the historical one over a
+//! cloned [`Snapshot`] and a `_view` one over a borrowing
+//! [`NetView`](crate::views::NetView). The snapshot spellings delegate to
+//! the view spellings through [`Snapshot::as_view`], so there is exactly
+//! one implementation of each phase property and the measurement loop can
+//! run it without cloning the network.
+
 use crate::id::Extended;
 use crate::node::Node;
-use crate::views::{Snapshot, View};
+use crate::views::{NetView, Snapshot, View};
 
 /// Simple union-find over `0..n`, used for weak-connectivity checks.
 #[derive(Clone, Debug)]
@@ -81,42 +88,46 @@ impl UnionFind {
     }
 }
 
-/// True iff the given view of the snapshot is weakly connected (edge
+/// True iff the given view of the state is weakly connected (edge
 /// directions ignored). The empty and singleton networks count as
 /// connected.
-pub fn weakly_connected(s: &Snapshot, view: View) -> bool {
-    let n = s.len();
+pub fn weakly_connected_view(v: &NetView<'_>, view: View) -> bool {
+    let n = v.len();
     if n <= 1 {
         return true;
     }
     let mut uf = UnionFind::new(n);
-    for (a, b) in s.edges(view) {
+    v.for_each_edge(view, |a, b| {
         uf.union(a, b);
-    }
+    });
     uf.all_connected()
+}
+
+/// Snapshot spelling of [`weakly_connected_view`].
+pub fn weakly_connected(s: &Snapshot, view: View) -> bool {
+    weakly_connected_view(&s.as_view(), view)
 }
 
 /// Definition 4.8: LCP solves the **sorted-list problem** — consecutive
 /// nodes (by id) point at each other, extremal nodes carry the `±∞`
-/// sentinels, and no other `l`/`r` links exist.
-pub fn is_sorted_list(s: &Snapshot) -> bool {
-    let order = s.sorted_indices();
-    let nodes = s.nodes();
-    let n = order.len();
+/// sentinels, and no other `l`/`r` links exist. The view is already in
+/// ascending id order, so this is a single O(n) scan.
+pub fn is_sorted_list_view(v: &NetView<'_>) -> bool {
+    let nodes = v.nodes();
+    let n = nodes.len();
     if n == 0 {
         return true;
     }
-    for (pos, &i) in order.iter().enumerate() {
-        let node = &nodes[i];
+    for (pos, node) in nodes.iter().enumerate() {
         let want_l = if pos == 0 {
             Extended::NegInf
         } else {
-            Extended::Fin(nodes[order[pos - 1]].id())
+            Extended::Fin(nodes[pos - 1].id())
         };
         let want_r = if pos + 1 == n {
             Extended::PosInf
         } else {
-            Extended::Fin(nodes[order[pos + 1]].id())
+            Extended::Fin(nodes[pos + 1].id())
         };
         if node.left() != want_l || node.right() != want_r {
             return false;
@@ -125,29 +136,43 @@ pub fn is_sorted_list(s: &Snapshot) -> bool {
     true
 }
 
+/// Snapshot spelling of [`is_sorted_list_view`].
+pub fn is_sorted_list(s: &Snapshot) -> bool {
+    is_sorted_list_view(&s.as_view())
+}
+
 /// Definition 4.17: RCP solves the **sorted-ring problem** — the sorted
 /// list plus mutually closing ring edges at the extremes. A single node
 /// trivially satisfies it; two or more nodes need `min.ring = max` and
 /// `max.ring = min`.
-pub fn is_sorted_ring(s: &Snapshot) -> bool {
-    if !is_sorted_list(s) {
+pub fn is_sorted_ring_view(v: &NetView<'_>) -> bool {
+    if !is_sorted_list_view(v) {
         return false;
     }
-    let order = s.sorted_indices();
-    if order.len() <= 1 {
+    let nodes = v.nodes();
+    if nodes.len() <= 1 {
         return true;
     }
-    let nodes = s.nodes();
-    let min = &nodes[order[0]];
-    let max = &nodes[*order.last().unwrap()];
+    let min = nodes[0];
+    let max = nodes[nodes.len() - 1];
     min.ring() == Some(max.id()) && max.ring() == Some(min.id())
+}
+
+/// Snapshot spelling of [`is_sorted_ring_view`].
+pub fn is_sorted_ring(s: &Snapshot) -> bool {
+    is_sorted_ring_view(&s.as_view())
 }
 
 /// Structural part of the small-world state (Theorem 4.22): the sorted
 /// ring holds and every long-range link points at an existing node
 /// (the distributional part is measured separately).
+pub fn is_small_world_structure_view(v: &NetView<'_>) -> bool {
+    is_sorted_ring_view(v) && v.nodes().iter().all(|n| v.index_of(n.lrl()).is_some())
+}
+
+/// Snapshot spelling of [`is_small_world_structure_view`].
 pub fn is_small_world_structure(s: &Snapshot) -> bool {
-    is_sorted_ring(s) && s.nodes().iter().all(|n| s.index_of(n.lrl()).is_some())
+    is_small_world_structure_view(&s.as_view())
 }
 
 /// The stabilization phase a snapshot has reached (each phase implies the
@@ -167,21 +192,34 @@ pub enum Phase {
     SortedRing,
 }
 
-/// Classifies a snapshot into the highest phase it satisfies.
-pub fn classify(s: &Snapshot) -> Phase {
-    if !weakly_connected(s, View::Cc) {
+/// Classifies a borrowed view into the highest phase it satisfies.
+///
+/// Fast path: when the sorted list already holds (an O(n) allocation-free
+/// scan) the two union-find passes are skipped entirely — LCP being the
+/// path over all nodes makes LCC (and hence CC) weakly connected, so the
+/// answer is `SortedList` or `SortedRing`. Stabilized networks spend most
+/// measured rounds in exactly that state, which is where the classifier
+/// runs hottest.
+pub fn classify_view(v: &NetView<'_>) -> Phase {
+    if is_sorted_list_view(v) {
+        return if is_sorted_ring_view(v) {
+            Phase::SortedRing
+        } else {
+            Phase::SortedList
+        };
+    }
+    if !weakly_connected_view(v, View::Cc) {
         return Phase::Disconnected;
     }
-    if !weakly_connected(s, View::Lcc) {
+    if !weakly_connected_view(v, View::Lcc) {
         return Phase::Connected;
     }
-    if !is_sorted_list(s) {
-        return Phase::LccConnected;
-    }
-    if !is_sorted_ring(s) {
-        return Phase::SortedList;
-    }
-    Phase::SortedRing
+    Phase::LccConnected
+}
+
+/// Classifies a snapshot into the highest phase it satisfies.
+pub fn classify(s: &Snapshot) -> Phase {
+    classify_view(&s.as_view())
 }
 
 /// Builds the canonical stable state for a set of nodes: the sorted ring
@@ -367,6 +405,81 @@ mod tests {
         assert_eq!(nodes.len(), 3);
         assert_eq!(nodes[0].id(), id(0.1));
         assert_eq!(nodes[2].ring(), Some(id(0.1)));
+    }
+
+    /// Long-form classification without the sorted-list fast path, used
+    /// as the reference the fast path must agree with.
+    fn classify_slow(s: &Snapshot) -> Phase {
+        let v = s.as_view();
+        if !weakly_connected_view(&v, View::Cc) {
+            return Phase::Disconnected;
+        }
+        if !weakly_connected_view(&v, View::Lcc) {
+            return Phase::Connected;
+        }
+        if !is_sorted_list_view(&v) {
+            return Phase::LccConnected;
+        }
+        if !is_sorted_ring_view(&v) {
+            return Phase::SortedList;
+        }
+        Phase::SortedRing
+    }
+
+    #[test]
+    fn classify_fast_path_matches_long_form() {
+        let cfg = ProtocolConfig::default();
+        let mut states: Vec<Snapshot> = vec![
+            Snapshot::from_nodes(vec![]),
+            ring_snapshot(1),
+            ring_snapshot(2),
+            ring_snapshot(17),
+        ];
+        // Sorted list without the ring edges.
+        let ids = evenly_spaced_ids(6);
+        let mut nodes = make_sorted_ring(&ids, cfg);
+        let min_id = nodes[0].id();
+        nodes[0] = Node::with_state(
+            min_id,
+            Extended::NegInf,
+            nodes[0].right(),
+            min_id,
+            None,
+            cfg,
+        );
+        states.push(Snapshot::from_nodes(nodes));
+        // Two components, with and without an lrl bridge.
+        let mut split = make_sorted_ring(&[id(0.1), id(0.2)], cfg);
+        split.extend(make_sorted_ring(&[id(0.7), id(0.8)], cfg));
+        states.push(Snapshot::from_nodes(split.clone()));
+        split[0] = Node::with_state(
+            id(0.1),
+            Extended::NegInf,
+            Extended::Fin(id(0.2)),
+            id(0.8),
+            Some(id(0.2)),
+            cfg,
+        );
+        states.push(Snapshot::from_nodes(split));
+        for s in &states {
+            assert_eq!(classify(s), classify_slow(s));
+            assert_eq!(classify_view(&s.as_view()), classify_slow(s));
+        }
+    }
+
+    #[test]
+    fn view_predicates_agree_with_snapshot_predicates() {
+        for n in [1usize, 2, 5, 33] {
+            let s = ring_snapshot(n);
+            let v = s.as_view();
+            assert_eq!(is_sorted_list_view(&v), is_sorted_list(&s));
+            assert_eq!(is_sorted_ring_view(&v), is_sorted_ring(&s));
+            assert_eq!(
+                is_small_world_structure_view(&v),
+                is_small_world_structure(&s)
+            );
+            assert!(weakly_connected_view(&v, View::Cc), "n={n}");
+        }
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //! A [`Snapshot`] is a frozen global state (taken by the simulator or the
 //! threaded runtime); the view extractors return edge lists over node
 //! *indices* in the snapshot, ready for the analysis crate.
+//!
+//! A [`NetView`] is the *borrowing* counterpart: references into a live
+//! network's nodes and channels, ordered by ascending identifier. The
+//! phase predicates evaluate against it without cloning a single node or
+//! message, which turns the measurement loop's per-round cost from
+//! O(state) copies into O(pointers). [`Snapshot::as_view`] bridges the
+//! two worlds, so every predicate has exactly one implementation.
 
 use crate::id::NodeId;
 use crate::message::Message;
@@ -107,6 +114,20 @@ impl Snapshot {
         self.channels.iter().map(Vec::len).sum()
     }
 
+    /// A borrowing view of this snapshot (nodes in ascending id order).
+    /// Predicates evaluated through the view agree with the snapshot
+    /// implementations; only the node numbering differs (id rank instead
+    /// of snapshot position).
+    pub fn as_view(&self) -> NetView<'_> {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        let mut channels = Vec::with_capacity(self.nodes.len());
+        for &i in self.index.values() {
+            nodes.push(&self.nodes[i]);
+            channels.push(self.channels[i].as_slice());
+        }
+        NetView { nodes, channels }
+    }
+
     /// Extracts the directed edge list of a connectivity view. Edges point
     /// from the node *storing/receiving* an identifier to that identifier's
     /// node; identifiers of absent nodes (possible during churn) are
@@ -157,6 +178,129 @@ impl Snapshot {
                 }
             }
         }
+        edges
+    }
+}
+
+/// A borrowing view of a global state: one `&Node` and one `&[Message]`
+/// channel slice per live node, in **ascending identifier order** (so
+/// index `i` is the node's ring rank). Built in O(n) pointer copies by
+/// `Snapshot::as_view` or the simulator's `Network::view`; nothing is
+/// cloned.
+///
+/// This is the state handed to the snapshot-free phase predicates
+/// (`classify_view` and friends in `invariants`): the convergence loop
+/// evaluates them every round, and cloning the whole network per round
+/// was the measurement bottleneck the view removes.
+#[derive(Debug)]
+pub struct NetView<'a> {
+    nodes: Vec<&'a Node>,
+    channels: Vec<&'a [Message]>,
+}
+
+impl<'a> NetView<'a> {
+    /// Builds a view from parallel node/channel references.
+    ///
+    /// # Panics
+    /// Panics if the lists differ in length or the nodes are not in
+    /// strictly ascending id order (which also rules out duplicates).
+    pub fn new(nodes: Vec<&'a Node>, channels: Vec<&'a [Message]>) -> Self {
+        assert_eq!(nodes.len(), channels.len(), "one channel per node required");
+        assert!(
+            nodes.windows(2).all(|w| w[0].id() < w[1].id()),
+            "view nodes must be in strictly ascending id order"
+        );
+        NetView { nodes, channels }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the view holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nodes, ascending by id (index = ring rank).
+    pub fn nodes(&self) -> &[&'a Node] {
+        &self.nodes
+    }
+
+    /// The node at rank `i`.
+    pub fn node(&self, i: usize) -> &'a Node {
+        self.nodes[i]
+    }
+
+    /// The channel contents of the node at rank `i`.
+    pub fn channel(&self, i: usize) -> &'a [Message] {
+        self.channels[i]
+    }
+
+    /// Rank of the node with identifier `id`, if present (binary search —
+    /// the view carries no index map).
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.nodes.binary_search_by_key(&id, |n| n.id()).ok()
+    }
+
+    /// Total number of messages in flight.
+    pub fn messages_in_flight(&self) -> usize {
+        self.channels.iter().map(|c| c.len()).sum()
+    }
+
+    /// Streams the directed edges of a connectivity view into `f` without
+    /// materializing an edge list. Same edge semantics as
+    /// [`Snapshot::edges`]: edges point from the node storing/receiving an
+    /// identifier to that identifier's node, absent identifiers and
+    /// self-loops are skipped; indices are id ranks.
+    pub fn for_each_edge<F: FnMut(usize, usize)>(&self, view: View, mut f: F) {
+        let mut push = |from: usize, to: NodeId| {
+            if let Some(j) = self.index_of(to) {
+                if j != from {
+                    f(from, j);
+                }
+            }
+        };
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(l) = n.left().fin() {
+                push(i, l);
+            }
+            if let Some(r) = n.right().fin() {
+                push(i, r);
+            }
+            if matches!(view, View::Cp | View::Cc) {
+                push(i, n.lrl());
+            }
+            if matches!(view, View::Cp | View::Cc | View::Rcp | View::Rcc) {
+                if let Some(x) = n.ring() {
+                    push(i, x);
+                }
+            }
+        }
+        if matches!(view, View::Cc | View::Lcc | View::Rcc) {
+            for (i, ch) in self.channels.iter().enumerate() {
+                for m in *ch {
+                    let include = match view {
+                        View::Cc => true,
+                        View::Lcc => m.in_lcc(),
+                        View::Rcc => m.in_lcc() || matches!(m, Message::Ring(_)),
+                        _ => unreachable!(),
+                    };
+                    if include {
+                        for id in m.carried_ids() {
+                            push(i, id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The directed edge list of a connectivity view, over id ranks.
+    pub fn edges(&self, view: View) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        self.for_each_edge(view, |a, b| edges.push((a, b)));
         edges
     }
 }
@@ -296,5 +440,51 @@ mod tests {
         let a = Node::new(id(0.5), cfg);
         let b = Node::new(id(0.5), cfg);
         let _ = Snapshot::from_nodes(vec![a, b]);
+    }
+
+    #[test]
+    fn as_view_edges_match_snapshot_edges_for_every_view() {
+        // The sample snapshot is already in ascending id order, so ranks
+        // and snapshot indices coincide and edge lists must be equal as
+        // sets.
+        let s = sample();
+        let v = s.as_view();
+        assert_eq!(v.len(), s.len());
+        assert_eq!(v.messages_in_flight(), s.messages_in_flight());
+        for view in [
+            View::Cp,
+            View::Cc,
+            View::Lcp,
+            View::Lcc,
+            View::Rcp,
+            View::Rcc,
+        ] {
+            let mut a = s.edges(view);
+            let mut b = v.edges(view);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{view:?} edges diverge between view and snapshot");
+        }
+    }
+
+    #[test]
+    fn view_index_of_uses_rank_order() {
+        let s = sample();
+        let v = s.as_view();
+        assert_eq!(v.index_of(id(0.2)), Some(0));
+        assert_eq!(v.index_of(id(0.5)), Some(1));
+        assert_eq!(v.index_of(id(0.8)), Some(2));
+        assert_eq!(v.index_of(id(0.9)), None);
+        assert_eq!(v.node(1).id(), id(0.5));
+        assert_eq!(v.channel(1), &[Message::Ring(id(0.2))][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending id order")]
+    fn view_rejects_unsorted_nodes() {
+        let cfg = ProtocolConfig::default();
+        let a = Node::new(id(0.8), cfg);
+        let b = Node::new(id(0.2), cfg);
+        let _ = NetView::new(vec![&a, &b], vec![&[], &[]]);
     }
 }

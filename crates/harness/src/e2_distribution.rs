@@ -19,7 +19,7 @@ use crate::testbed::stabilized_network;
 use swn_baselines::chaintreau::MoveForgetRing;
 use swn_core::config::ProtocolConfig;
 use swn_topology::distribution::{
-    ks_to_cdf, ks_to_harmonic, log_corrected_harmonic_cdf, log_log_slope, lrl_lengths,
+    ks_to_cdf, ks_to_harmonic, log_corrected_harmonic_cdf, log_log_slope, lrl_lengths_view,
 };
 
 /// Parameters for E2.
@@ -90,7 +90,7 @@ pub fn protocol_fit(n: usize, p: &Params, seed: u64) -> FitStats {
     let mut lengths = Vec::new();
     for _ in 0..p.epochs {
         net.run(p.epoch_gap);
-        lengths.extend(lrl_lengths(&net.snapshot()));
+        lengths.extend(lrl_lengths_view(&net.view()));
     }
     fit(&lengths, n / 2, p.epsilon)
 }

@@ -125,10 +125,7 @@ pub fn build_graph(sys: System, n: usize, p: &Params, seed: u64) -> Option<Graph
         System::ProtocolStationary => {
             let cfg = ProtocolConfig::with_epsilon(p.epsilon);
             let net = crate::testbed::harmonic_network(n, cfg, seed);
-            Some(Graph::from_snapshot(
-                &net.snapshot(),
-                swn_core::views::View::Cp,
-            ))
+            Some(Graph::from_view(&net.view(), swn_core::views::View::Cp))
         }
         System::MoveForget => {
             let mut mf = MoveForgetRing::new(n, p.epsilon, seed);

@@ -97,7 +97,7 @@ pub fn build_graph(sys: System, p: &Params, seed: u64) -> Graph {
     match sys {
         System::Protocol => {
             let net = harmonic_network(p.n, ProtocolConfig::with_epsilon(p.epsilon), seed);
-            Graph::from_snapshot(&net.snapshot(), swn_core::views::View::Cp)
+            Graph::from_view(&net.view(), swn_core::views::View::Cp)
         }
         System::Kleinberg => kleinberg_ring(p.n, seed),
         // ER with the small-world's mean degree (ring + 1 lrl ≈ 3

@@ -21,7 +21,7 @@ pub fn stabilized_network(n: usize, cfg: ProtocolConfig, seed: u64, warmup: u64)
 /// indexed by ring rank.
 pub fn stabilized_graph(n: usize, cfg: ProtocolConfig, seed: u64, warmup: u64) -> Graph {
     let net = stabilized_network(n, cfg, seed, warmup);
-    Graph::from_snapshot(&net.snapshot(), swn_core::views::View::Cp)
+    Graph::from_view(&net.view(), swn_core::views::View::Cp)
 }
 
 /// Default warmup heuristic: enough rounds for the token walks to mix at

@@ -22,7 +22,9 @@ pub enum DeliveryPolicy {
     Immediate,
     /// Adversarial asynchrony: each round each message is delivered with
     /// probability `p_deliver`, but never delayed more than `max_delay`
-    /// rounds (fair receipt). Order is randomized.
+    /// rounds (fair receipt): a message enqueued in round `e` is
+    /// force-delivered no later than round `e + max_delay`. Order is
+    /// randomized.
     RandomDelay {
         /// Per-round delivery probability for each queued message.
         p_deliver: f64,
@@ -52,47 +54,49 @@ impl DeliveryPolicy {
     }
 }
 
-/// A message waiting in a channel, tagged with its enqueue round so the
-/// fairness bound can be enforced.
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct Queued {
-    enqueued_at: u64,
-    msg: Message,
-}
-
 /// An unbounded, unordered, lossless message channel.
+///
+/// Stored struct-of-arrays: the messages and their enqueue rounds live in
+/// two parallel vecs, so the message payloads are contiguous and can be
+/// borrowed as a plain `&[Message]` slice by the measurement views
+/// without cloning the channel.
 #[derive(Clone, Debug, Default)]
 pub struct Channel {
-    queue: Vec<Queued>,
+    msgs: Vec<Message>,
+    enqueued: Vec<u64>,
 }
 
 impl Channel {
     /// An empty channel.
     pub fn new() -> Self {
-        Channel { queue: Vec::new() }
+        Channel::default()
     }
 
     /// Enqueues a message at round `round`.
     pub fn push(&mut self, msg: Message, round: u64) {
-        self.queue.push(Queued {
-            enqueued_at: round,
-            msg,
-        });
+        self.msgs.push(msg);
+        self.enqueued.push(round);
     }
 
     /// Number of queued messages.
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.msgs.len()
     }
 
     /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.msgs.is_empty()
     }
 
     /// Iterates over the queued messages (for snapshots).
     pub fn messages(&self) -> impl Iterator<Item = &Message> {
-        self.queue.iter().map(|q| &q.msg)
+        self.msgs.iter()
+    }
+
+    /// The queued messages as a contiguous slice, in enqueue order. This
+    /// is what [`NetView`](swn_core::views::NetView) borrows.
+    pub fn as_slice(&self) -> &[Message] {
+        &self.msgs
     }
 
     /// Takes the messages to deliver in round `now` under `policy`,
@@ -106,26 +110,44 @@ impl Channel {
         rng: &mut R,
     ) -> Vec<Message> {
         let mut out = Vec::new();
-        self.queue.retain(|q| {
-            if q.enqueued_at >= now {
-                return true;
-            }
-            let deliver = match policy {
-                DeliveryPolicy::Immediate => true,
-                DeliveryPolicy::RandomDelay {
-                    p_deliver,
-                    max_delay,
-                } => now - q.enqueued_at > max_delay || rng.random_bool(p_deliver),
-            };
-            if deliver {
-                out.push(q.msg);
-                false
-            } else {
-                true
-            }
-        });
-        out.shuffle(rng);
+        self.take_deliverable_into(now, policy, rng, &mut out);
         out
+    }
+
+    /// Allocation-free spelling of [`Channel::take_deliverable`]: clears
+    /// `out` and fills it with the deliverable messages, compacting the
+    /// channel in place. Identical element order and RNG consumption to
+    /// the owning variant, so traces are bit-for-bit unchanged.
+    pub fn take_deliverable_into<R: Rng + ?Sized>(
+        &mut self,
+        now: u64,
+        policy: DeliveryPolicy,
+        rng: &mut R,
+        out: &mut Vec<Message>,
+    ) {
+        out.clear();
+        let mut kept = 0;
+        for i in 0..self.msgs.len() {
+            let enqueued_at = self.enqueued[i];
+            let deliver = enqueued_at < now
+                && match policy {
+                    DeliveryPolicy::Immediate => true,
+                    DeliveryPolicy::RandomDelay {
+                        p_deliver,
+                        max_delay,
+                    } => now - enqueued_at >= max_delay || rng.random_bool(p_deliver),
+                };
+            if deliver {
+                out.push(self.msgs[i]);
+            } else {
+                self.msgs[kept] = self.msgs[i];
+                self.enqueued[kept] = enqueued_at;
+                kept += 1;
+            }
+        }
+        self.msgs.truncate(kept);
+        self.enqueued.truncate(kept);
+        out.shuffle(rng);
     }
 }
 
@@ -183,8 +205,30 @@ mod tests {
                 break;
             }
         }
-        // Forced delivery at the latest when now − 0 > 3, i.e. round 4.
-        assert_eq!(delivered_at, Some(4));
+        // "Delayed at most `max_delay` rounds": enqueued at round 0 means
+        // forced delivery no later than round 3 (now − 0 ≥ 3).
+        assert_eq!(delivered_at, Some(3));
+    }
+
+    #[test]
+    fn take_deliverable_into_reuses_buffer_and_matches_owning_variant() {
+        let policy = DeliveryPolicy::RandomDelay {
+            p_deliver: 0.5,
+            max_delay: 10,
+        };
+        let mut a = Channel::new();
+        let mut b = Channel::new();
+        for i in 1..=30 {
+            a.push(lin(i as f64 / 100.0), i % 4);
+            b.push(lin(i as f64 / 100.0), i % 4);
+        }
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut buf = vec![lin(0.99)]; // stale content must be cleared
+        a.take_deliverable_into(5, policy, &mut rng_a, &mut buf);
+        let owned = b.take_deliverable(5, policy, &mut rng_b);
+        assert_eq!(buf, owned);
+        assert_eq!(a.as_slice(), b.as_slice(), "identical compaction");
     }
 
     #[test]

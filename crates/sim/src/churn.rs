@@ -17,7 +17,7 @@ use rand::{RngExt as _, SeedableRng};
 use serde::{Deserialize, Serialize};
 use swn_core::config::ProtocolConfig;
 use swn_core::id::{Extended, NodeId};
-use swn_core::invariants::is_sorted_ring;
+use swn_core::invariants::is_sorted_ring_view;
 use swn_core::message::Message;
 use swn_core::node::Node;
 
@@ -125,7 +125,8 @@ pub fn leave_random(net: &mut Network, seed: u64, max_rounds: u64) -> (NodeId, R
 
 fn measure_recovery(net: &mut Network, max_rounds: u64) -> RecoveryReport {
     let mut report = RecoveryReport::default();
-    if is_sorted_ring(&net.snapshot()) {
+    let mut sorted = is_sorted_ring_view(&net.view());
+    if sorted {
         report.rounds = Some(0);
         return report;
     }
@@ -133,7 +134,10 @@ fn measure_recovery(net: &mut Network, max_rounds: u64) -> RecoveryReport {
         let stats = net.step();
         report.messages += stats.total_sent();
         report.tracked_messages += stats.tracked_sent;
-        if is_sorted_ring(&net.snapshot()) {
+        if stats.links_changed {
+            sorted = is_sorted_ring_view(&net.view());
+        }
+        if sorted {
             report.rounds = Some(k);
             return report;
         }

@@ -21,7 +21,7 @@ use swn_core::id::NodeId;
 use swn_core::message::Message;
 use swn_core::node::Node;
 use swn_core::outbox::Outbox;
-use swn_core::views::Snapshot;
+use swn_core::views::{NetView, Snapshot};
 
 /// A simulated asynchronous message-passing network.
 #[derive(Debug)]
@@ -37,6 +37,12 @@ pub struct Network {
     outbox: Outbox,
     tracked: Option<NodeId>,
     tracked_forwarders: std::collections::BTreeSet<NodeId>,
+    // Per-round scratch buffers, reused across `step` calls so the round
+    // loop allocates nothing in steady state. Taken with `mem::take`
+    // while in use and put back afterwards.
+    order_buf: Vec<usize>,
+    inbox_buf: Vec<Message>,
+    sends_buf: Vec<(NodeId, Message)>,
 }
 
 impl Network {
@@ -71,6 +77,9 @@ impl Network {
             outbox: Outbox::new(),
             tracked: None,
             tracked_forwarders: Default::default(),
+            order_buf: Vec::new(),
+            inbox_buf: Vec::new(),
+            sends_buf: Vec::new(),
         }
     }
 
@@ -138,46 +147,62 @@ impl Network {
         let now = self.round;
         let mut stats = RoundStats::default();
 
-        let mut order: Vec<usize> = self.index.values().copied().collect();
+        let mut order = std::mem::take(&mut self.order_buf);
+        order.clear();
+        order.extend(self.index.values().copied());
         order.shuffle(&mut self.rng);
 
-        for i in order {
+        let mut inbox = std::mem::take(&mut self.inbox_buf);
+        for &i in &order {
             if self.nodes[i].is_none() {
                 continue; // removed earlier in this round by churn callers
             }
             // Receive actions: all eligible messages, shuffled.
-            let inbox = self.channels[i].take_deliverable(now, self.policy, &mut self.rng);
-            for m in inbox {
+            self.channels[i].take_deliverable_into(now, self.policy, &mut self.rng, &mut inbox);
+            if !inbox.is_empty() {
+                stats.links_changed = true;
+            }
+            for &m in &inbox {
                 stats.count_delivered(m.kind());
                 let node = self.nodes[i].as_mut().expect("checked above");
                 node.on_message(m, &mut self.rng, &mut self.outbox);
                 self.flush_outbox(i, now, &mut stats);
             }
-            // Regular action.
+            // Regular action. The handler can silently rewrite link state
+            // (sanitation normalizes without emitting events), so compare
+            // the link tuple around the call for the dirty flag.
             let node = self.nodes[i].as_mut().expect("checked above");
+            let links_before = (node.left(), node.right(), node.lrl(), node.ring());
             node.on_regular(&mut self.outbox);
+            let node = self.nodes[i].as_ref().expect("checked above");
+            if (node.left(), node.right(), node.lrl(), node.ring()) != links_before {
+                stats.links_changed = true;
+            }
             self.flush_outbox(i, now, &mut stats);
         }
+        inbox.clear();
+        self.inbox_buf = inbox;
+        self.order_buf = order;
 
         self.trace.push(stats.clone());
         stats
     }
 
-    /// Runs rounds until `pred` holds on the snapshot or `max_rounds` is
-    /// hit. Returns the number of the first satisfying round (counting
-    /// from the call), or `None` on timeout. The predicate is evaluated
-    /// before the first step, so an already-satisfying state returns
-    /// `Some(0)`.
+    /// Runs rounds until `pred` holds on a borrowed view of the state or
+    /// `max_rounds` is hit. Returns the number of the first satisfying
+    /// round (counting from the call), or `None` on timeout. The
+    /// predicate is evaluated before the first step, so an
+    /// already-satisfying state returns `Some(0)`.
     pub fn run_until<F>(&mut self, max_rounds: u64, mut pred: F) -> Option<u64>
     where
-        F: FnMut(&Snapshot) -> bool,
+        F: FnMut(&NetView<'_>) -> bool,
     {
-        if pred(&self.snapshot()) {
+        if pred(&self.view()) {
             return Some(0);
         }
         for k in 1..=max_rounds {
             self.step();
-            if pred(&self.snapshot()) {
+            if pred(&self.view()) {
                 return Some(k);
             }
         }
@@ -204,8 +229,33 @@ impl Network {
         Snapshot::new(nodes, channels)
     }
 
+    /// A borrowed view of the global state: `&Node`s in ascending id
+    /// order plus each node's channel as a `&[Message]` slice. This is
+    /// the zero-copy input to `classify_view`, `is_sorted_ring_view` and
+    /// the convergence predicates — only two pointer vecs are allocated,
+    /// never the state itself.
+    pub fn view(&self) -> NetView<'_> {
+        let mut nodes = Vec::with_capacity(self.index.len());
+        let mut channels = Vec::with_capacity(self.index.len());
+        for &i in self.index.values() {
+            if let Some(n) = &self.nodes[i] {
+                nodes.push(n);
+                channels.push(self.channels[i].as_slice());
+            }
+        }
+        NetView::new(nodes, channels)
+    }
+
     /// Adds a node (churn: join). Returns false if the id already exists.
+    ///
+    /// # Panics
+    /// Panics when the node carries an invalid [`ProtocolConfig`] — the
+    /// same check [`Network::with_policy`] performs on the initial nodes,
+    /// so churn joins cannot smuggle in configs the constructor rejects.
+    ///
+    /// [`ProtocolConfig`]: swn_core::config::ProtocolConfig
     pub fn insert_node(&mut self, node: Node) -> bool {
+        node.config().validate().expect("invalid protocol config");
         let id = node.id();
         if self.index.contains_key(&id) {
             return false;
@@ -229,8 +279,17 @@ impl Network {
     /// Removes a node (churn: leave/crash). Its channel content vanishes
     /// with it; links pointing at it dangle until their owners detect the
     /// departure. Returns the removed node.
+    ///
+    /// Tracking state is kept consistent: if the departed node is the
+    /// tracked id, tracking stops (its integration path is moot); if it
+    /// was recorded as a forwarder, it is forgotten so the Theorem-4.24
+    /// step count only ever counts live nodes.
     pub fn remove_node(&mut self, id: NodeId) -> Option<Node> {
         let slot = self.index.remove(&id)?;
+        if self.tracked == Some(id) {
+            self.track_id(None);
+        }
+        self.tracked_forwarders.remove(&id);
         self.free.push(slot);
         self.channels[slot] = Channel::new();
         self.nodes[slot].take()
@@ -251,10 +310,12 @@ impl Network {
         for ev in self.outbox.drain_events() {
             stats.count_event(&ev);
         }
-        // Drain into a local buffer first: routing needs &mut self.channels
-        // while the outbox is also borrowed from self.
-        let sends: Vec<(NodeId, Message)> = self.outbox.drain_sends().collect();
-        for (dest, msg) in sends {
+        // Drain into a reused buffer first: routing needs &mut
+        // self.channels while the outbox is also borrowed from self.
+        let mut sends = std::mem::take(&mut self.sends_buf);
+        sends.clear();
+        sends.extend(self.outbox.drain_sends());
+        for &(dest, msg) in &sends {
             stats.count_sent(msg.kind());
             if let Some(t) = self.tracked {
                 if msg.carried_ids().any(|x| x == t) {
@@ -271,25 +332,35 @@ impl Network {
             match self.index.get(&dest) {
                 Some(&j) => self.channels[j].push(msg, now),
                 None => {
-                    // Bounce: the destination left the network. The sender
-                    // detects the departure and clears its dangling
-                    // pointers. A `lin` payload naming a *live* node is the
-                    // potential sole carrier of that link (linearize moves
-                    // identifiers), so it is handed back to the sender for
-                    // reprocessing; every other payload is still stored at
-                    // its responder and may be dropped safely.
-                    stats.dropped += 1;
+                    // The destination left the network. The sender detects
+                    // the departure and clears its dangling pointers. A
+                    // `lin` payload naming a *live* node is the potential
+                    // sole carrier of that link (linearize moves
+                    // identifiers), so it is *bounced* — handed back to
+                    // the sender for reprocessing; every other payload is
+                    // still stored at its responder and may be dropped
+                    // safely. Only the latter counts as a drop.
+                    stats.links_changed = true;
+                    let mut bounced = false;
                     if let Some(node) = self.nodes[sender].as_mut() {
                         node.clear_dangling(dest);
                         if let Message::Lin(x) = msg {
                             if x != dest && self.index.contains_key(&x) {
                                 self.channels[sender].push(msg, now);
+                                bounced = true;
                             }
                         }
+                    }
+                    if bounced {
+                        stats.bounced += 1;
+                    } else {
+                        stats.dropped += 1;
                     }
                 }
             }
         }
+        sends.clear();
+        self.sends_buf = sends;
     }
 }
 
@@ -298,7 +369,9 @@ mod tests {
     use super::*;
     use swn_core::config::ProtocolConfig;
     use swn_core::id::evenly_spaced_ids;
-    use swn_core::invariants::{classify, is_sorted_ring, make_sorted_ring, Phase};
+    use swn_core::invariants::{
+        classify_view, is_sorted_ring, is_sorted_ring_view, make_sorted_ring, Phase,
+    };
 
     fn id(f: f64) -> NodeId {
         NodeId::from_fraction(f)
@@ -330,7 +403,7 @@ mod tests {
         let mut net = Network::new(vec![a, b], 7);
         // One temporary link: a learns about b.
         net.preload(id(0.2), Message::Lin(id(0.8)));
-        let done = net.run_until(50, |s| classify(s) == Phase::SortedRing);
+        let done = net.run_until(50, |v| classify_view(v) == Phase::SortedRing);
         assert!(done.is_some(), "2-node network failed to stabilize");
         let s = net.snapshot();
         let na = s.nodes()[s.index_of(id(0.2)).unwrap()].clone();
@@ -359,7 +432,22 @@ mod tests {
     #[test]
     fn run_until_detects_immediately_satisfied_predicate() {
         let mut net = stable_net(4, 1);
-        assert_eq!(net.run_until(10, is_sorted_ring), Some(0));
+        assert_eq!(net.run_until(10, is_sorted_ring_view), Some(0));
+    }
+
+    #[test]
+    fn view_matches_snapshot() {
+        let mut net = stable_net(8, 2);
+        net.run(3);
+        let s = net.snapshot();
+        let v = net.view();
+        assert_eq!(v.len(), s.len());
+        for (rank, node) in v.nodes().iter().enumerate() {
+            let si = s.sorted_indices()[rank];
+            assert_eq!(node.id(), s.nodes()[si].id());
+            assert_eq!(v.channel(rank), &s.channels()[si][..]);
+        }
+        assert_eq!(classify_view(&v), swn_core::invariants::classify(&s));
     }
 
     #[test]
@@ -386,14 +474,34 @@ mod tests {
     }
 
     #[test]
-    fn messages_to_departed_nodes_are_dropped_and_counted() {
+    fn messages_to_departed_nodes_bounce_back_to_their_sender() {
         let mut net = stable_net(8, 3);
         let victims = net.ids();
         let victim = victims[3];
         net.remove_node(victim);
         net.run(3);
-        let dropped: u64 = net.trace().rounds().iter().map(|r| r.dropped).sum();
-        assert!(dropped > 0, "neighbours keep sending to the departed node");
+        // The interior victim's neighbours keep sending `lin` messages
+        // naming themselves (live), so those bounce — they are not drops.
+        assert!(net.trace().total_bounced() > 0, "lin to departed bounces");
+    }
+
+    #[test]
+    fn bounces_and_true_drops_are_counted_separately() {
+        let mut net = stable_net(8, 3);
+        let max = *net.ids().last().unwrap();
+        net.remove_node(max);
+        net.run(3);
+        // The min node's `ring` message to the departed max is a true
+        // drop (its payload is stored at the responder); the max's left
+        // neighbour's `lin` naming itself bounces.
+        assert!(
+            net.trace().total_dropped() > 0,
+            "ring messages to the departed max are dropped"
+        );
+        assert!(
+            net.trace().total_bounced() > 0,
+            "lin messages to the departed max bounce"
+        );
     }
 
     #[test]
@@ -424,7 +532,7 @@ mod tests {
         );
         net.preload(id(0.2), Message::Lin(id(0.5)));
         net.preload(id(0.5), Message::Lin(id(0.8)));
-        let done = net.run_until(300, |s| classify(s) == Phase::SortedRing);
+        let done = net.run_until(300, |v| classify_view(v) == Phase::SortedRing);
         assert!(done.is_some(), "failed to stabilize under random delay");
     }
 
@@ -433,5 +541,83 @@ mod tests {
     fn duplicate_ids_rejected() {
         let cfg = ProtocolConfig::default();
         let _ = Network::new(vec![Node::new(id(0.5), cfg), Node::new(id(0.5), cfg)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid protocol config")]
+    fn insert_node_rejects_invalid_config() {
+        let mut net = stable_net(4, 1);
+        let bad = ProtocolConfig {
+            probe_period: 0,
+            ..ProtocolConfig::default()
+        };
+        let _ = net.insert_node(Node::new(id(0.33), bad));
+    }
+
+    #[test]
+    fn remove_node_clears_stale_tracking_state() {
+        // A tracked id travels through forwarders; when a forwarder
+        // departs it must leave the forwarder set, and when the tracked
+        // node itself departs tracking must stop entirely.
+        let mut net = stable_net(8, 5);
+        let ids = net.ids();
+        let joiner = id(0.0001); // sorts before every existing node
+        assert!(net.insert_node(Node::new(joiner, ProtocolConfig::default())));
+        net.track_id(Some(joiner));
+        net.send_external(ids[7], Message::Lin(joiner));
+        net.run(6);
+        let before = net.tracked_forwarder_count();
+        assert!(before > 0, "the joiner's id should have been forwarded");
+        // Remove every original node: recorded forwarders must drop out
+        // of the count rather than keep counting departed nodes.
+        for fid in ids {
+            net.remove_node(fid);
+        }
+        assert_eq!(
+            net.tracked_forwarder_count(),
+            0,
+            "departed forwarders must not linger in the step count"
+        );
+    }
+
+    #[test]
+    fn removing_the_tracked_node_stops_tracking() {
+        let mut net = stable_net(8, 5);
+        let ids = net.ids();
+        let joiner = id(0.0001);
+        assert!(net.insert_node(Node::new(joiner, ProtocolConfig::default())));
+        net.track_id(Some(joiner));
+        net.send_external(ids[7], Message::Lin(joiner));
+        net.run(2);
+        // The tracked node departs while its id is still circulating in
+        // `lin` messages; a stale `tracked` would keep counting them.
+        net.remove_node(joiner);
+        let rounds_before = net.trace().len();
+        net.run(4);
+        assert_eq!(net.tracked_forwarder_count(), 0);
+        let tracked_after: u64 = net.trace().rounds()[rounds_before..]
+            .iter()
+            .map(|r| r.tracked_sent)
+            .sum();
+        assert_eq!(tracked_after, 0, "tracking must stop with the node");
+    }
+
+    #[test]
+    fn clean_rounds_report_links_unchanged() {
+        // A stable ring under Immediate policy still delivers messages
+        // every round (dirty), but a network whose channels have drained
+        // and whose nodes only re-send stored ids is clean.
+        let mut net = stable_net(6, 2);
+        net.run(10);
+        let last = net.trace().rounds().last().unwrap();
+        assert!(
+            last.links_changed,
+            "immediate-policy rounds deliver messages, hence dirty"
+        );
+        // Single node: sends go nowhere new, state never changes, first
+        // round delivers nothing — the round must be clean.
+        let mut solo = Network::new(make_sorted_ring(&[id(0.5)], ProtocolConfig::default()), 1);
+        let stats = solo.step();
+        assert!(!stats.links_changed, "solo first round is clean");
     }
 }

@@ -18,8 +18,21 @@ pub struct RoundStats {
     /// Messages delivered this round, by kind index.
     pub delivered: [u64; MessageKind::COUNT],
     /// Messages whose destination no longer exists (possible during
-    /// churn); they are dropped.
+    /// churn) and whose payload is safely stored elsewhere; they are
+    /// dropped.
     pub dropped: u64,
+    /// `lin` messages to a departed destination that were handed back to
+    /// their sender for reprocessing (the payload named a live node, so
+    /// the message may be its sole carrier). Not drops: the payload stays
+    /// in the system.
+    pub bounced: u64,
+    /// True when this round may have changed the network's phase: a
+    /// message was delivered, some node's link state (`l`/`r`/`lrl`/ring)
+    /// changed, or a message bounced/dropped. Conservative — a round with
+    /// `links_changed == false` provably preserves the
+    /// [`classify`](swn_core::invariants::classify) result, so observers
+    /// may skip reclassification (see DESIGN.md).
+    pub links_changed: bool,
     /// Probe-repair events: a probe got stuck and created an edge.
     pub probe_repairs: u64,
     /// Long-range token moves.
@@ -118,6 +131,16 @@ impl Trace {
     /// Total messages sent of one kind.
     pub fn total_sent_of(&self, kind: MessageKind) -> u64 {
         self.rounds.iter().map(|r| r.sent[kind.index()]).sum()
+    }
+
+    /// Total messages bounced back to their sender over the whole run.
+    pub fn total_bounced(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bounced).sum()
+    }
+
+    /// Total messages dropped over the whole run.
+    pub fn total_dropped(&self) -> u64 {
+        self.rounds.iter().map(|r| r.dropped).sum()
     }
 
     /// Total probe repairs over the whole run.

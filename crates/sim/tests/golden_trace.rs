@@ -1,0 +1,207 @@
+//! Golden-trace regression for the round loop.
+//!
+//! The simulator promises bit-for-bit determinism: the same seed, initial
+//! state and policy replay the exact same computation. The measurement
+//! loop (`run_to_ring`) additionally promises that *how* it observes the
+//! network (snapshot clones vs. borrowing views, reclassification vs.
+//! dirty-skipping) never changes the computation it observes.
+//!
+//! This test pins both promises to a fixture captured from the original
+//! snapshot-per-round implementation: per-scenario phase milestones,
+//! message totals, a per-round sent/delivered prefix, and an order-stable
+//! digest of the final global state (node variables *and* channel
+//! contents). Any refactor of `Network::step`, `Channel` storage or the
+//! convergence loop that perturbs a single message or RNG draw shows up
+//! as a digest mismatch.
+//!
+//! Scenarios use the `Immediate` policy only: that is the policy the
+//! convergence measurements run under, and `RandomDelay` traces are
+//! allowed to change when the fairness bound itself is fixed/retuned.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test -p swn-sim --test
+//! golden_trace` after an *intentional* trace-affecting change, and say
+//! why in the commit message.
+
+use serde::{Deserialize, Serialize};
+use swn_core::config::ProtocolConfig;
+use swn_core::id::{evenly_spaced_ids, Extended};
+use swn_sim::convergence::run_to_ring;
+use swn_sim::init::{generate, InitialTopology};
+use swn_sim::trace::RoundStats;
+use swn_sim::Network;
+
+/// How many leading rounds get their (sent, delivered) pair recorded.
+const ROUND_PREFIX: usize = 40;
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ScenarioSig {
+    label: String,
+    rounds_to_lcc: Option<u64>,
+    rounds_to_list: Option<u64>,
+    rounds_to_ring: Option<u64>,
+    messages_to_ring: u64,
+    monotone: bool,
+    rounds_run: u64,
+    total_sent: u64,
+    total_delivered: u64,
+    round_prefix: Vec<(u64, u64)>,
+    state_digest: u64,
+}
+
+/// FNV-1a over a stream of u64 words.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+    fn push(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn encode_extended(e: Extended) -> u64 {
+    match e {
+        Extended::NegInf => 1,
+        Extended::PosInf => 2,
+        Extended::Fin(id) => id.bits().wrapping_mul(2).wrapping_add(3),
+    }
+}
+
+/// Order-stable digest of the full global state: every node's variables
+/// (ascending id order) plus its channel contents in queue order.
+fn state_digest(net: &Network) -> u64 {
+    let s = net.snapshot();
+    let mut d = Digest::new();
+    let order = s.sorted_indices();
+    for &i in &order {
+        let n = &s.nodes()[i];
+        d.push(n.id().bits());
+        d.push(encode_extended(n.left()));
+        d.push(encode_extended(n.right()));
+        d.push(n.lrl().bits());
+        d.push(n.ring().map_or(0, |r| r.bits().wrapping_add(1)));
+        d.push(n.age());
+        d.push(n.probe_tick());
+        let ch = &s.channels()[i];
+        d.push(ch.len() as u64);
+        for m in ch {
+            d.push(m.kind().index() as u64 + 1);
+            for id in m.carried_ids() {
+                d.push(id.bits());
+            }
+        }
+    }
+    d.0
+}
+
+fn trace_totals(net: &Network) -> (u64, u64, Vec<(u64, u64)>) {
+    let rounds = net.trace().rounds();
+    let sent = rounds.iter().map(RoundStats::total_sent).sum();
+    let delivered = rounds.iter().map(RoundStats::total_delivered).sum();
+    let prefix = rounds
+        .iter()
+        .take(ROUND_PREFIX)
+        .map(|r| (r.total_sent(), r.total_delivered()))
+        .collect();
+    (sent, delivered, prefix)
+}
+
+fn convergence_scenario(family: InitialTopology, n: usize, seed: u64) -> ScenarioSig {
+    let ids = evenly_spaced_ids(n);
+    let mut net = generate(family, &ids, ProtocolConfig::default(), seed).into_network(seed);
+    let rep = run_to_ring(&mut net, 100_000);
+    let (total_sent, total_delivered, round_prefix) = trace_totals(&net);
+    ScenarioSig {
+        label: format!("{}/n{}/s{}", family.label(), n, seed),
+        rounds_to_lcc: rep.rounds_to_lcc,
+        rounds_to_list: rep.rounds_to_list,
+        rounds_to_ring: rep.rounds_to_ring,
+        messages_to_ring: rep.messages_to_ring,
+        monotone: rep.monotone,
+        rounds_run: rep.rounds_run,
+        total_sent,
+        total_delivered,
+        round_prefix,
+        state_digest: state_digest(&net),
+    }
+}
+
+/// Churn scenario: a stable ring loses an interior node mid-run; the
+/// bounce/drop handling and departure detection must replay identically.
+fn churn_scenario(n: usize, seed: u64) -> ScenarioSig {
+    let ids = evenly_spaced_ids(n);
+    let mut net = Network::new(
+        swn_core::invariants::make_sorted_ring(&ids, ProtocolConfig::default()),
+        seed,
+    );
+    net.run(10);
+    let victim = net.ids()[n / 2];
+    net.remove_node(victim);
+    net.run(50);
+    let (total_sent, total_delivered, round_prefix) = trace_totals(&net);
+    ScenarioSig {
+        label: format!("churn/n{n}/s{seed}"),
+        rounds_to_lcc: None,
+        rounds_to_list: None,
+        rounds_to_ring: None,
+        messages_to_ring: 0,
+        monotone: true,
+        rounds_run: net.round(),
+        total_sent,
+        total_delivered,
+        round_prefix,
+        state_digest: state_digest(&net),
+    }
+}
+
+fn all_scenarios() -> Vec<ScenarioSig> {
+    vec![
+        convergence_scenario(InitialTopology::RandomSparse { extra: 3 }, 24, 4),
+        convergence_scenario(InitialTopology::Star, 16, 3),
+        convergence_scenario(InitialTopology::Clique, 20, 6),
+        convergence_scenario(InitialTopology::TwoBlobs, 20, 5),
+        convergence_scenario(InitialTopology::CorruptedRing { corruptions: 5 }, 20, 7),
+        churn_scenario(12, 9),
+    ]
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("roundloop_golden.json")
+}
+
+#[test]
+fn round_loop_replays_the_golden_traces() {
+    let actual = all_scenarios();
+    let path = fixture_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let json = serde_json::to_string(&actual).expect("serialize golden fixture");
+        std::fs::create_dir_all(path.parent().expect("fixture has a parent dir"))
+            .expect("create golden dir");
+        std::fs::write(&path, json).expect("write golden fixture");
+        eprintln!("golden fixture regenerated at {}", path.display());
+        return;
+    }
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    let expected: Vec<ScenarioSig> = serde_json::from_str(&json).expect("parse golden fixture");
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "scenario list changed; regenerate with UPDATE_GOLDEN=1"
+    );
+    for (exp, act) in expected.iter().zip(&actual) {
+        assert_eq!(
+            exp, act,
+            "golden trace diverged for scenario {}: the round loop is no \
+             longer bit-for-bit identical to the recorded implementation",
+            exp.label
+        );
+    }
+}

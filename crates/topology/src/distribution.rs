@@ -9,32 +9,33 @@
 //! log–log slope of the binned density (which must be ≈ −1).
 
 use crate::paths::ring_distance;
-use swn_core::views::Snapshot;
+use swn_core::views::{NetView, Snapshot};
 
-/// Ring-rank lengths of all long-range links in a snapshot. Tokens
+/// Ring-rank lengths of all long-range links in a borrowed view. Tokens
 /// sitting at their origin (`lrl == id`, length 0) are excluded — they
 /// are "no link yet" states, not length-0 links; `lrl`s pointing at
-/// departed ids are likewise skipped.
-pub fn lrl_lengths(s: &Snapshot) -> Vec<usize> {
-    let order = s.sorted_indices();
-    let n = order.len();
-    let mut rank_of = vec![0usize; s.len()];
-    for (rank, &idx) in order.iter().enumerate() {
-        rank_of[idx] = rank;
-    }
+/// departed ids are likewise skipped. The view is in ascending id order,
+/// so an index *is* a ring rank and no rank table is needed.
+pub fn lrl_lengths_view(v: &NetView<'_>) -> Vec<usize> {
+    let n = v.len();
     let mut lengths = Vec::new();
-    for (idx, node) in s.nodes().iter().enumerate() {
+    for (rank, node) in v.nodes().iter().enumerate() {
         if node.lrl() == node.id() {
             continue;
         }
-        if let Some(tidx) = s.index_of(node.lrl()) {
-            let d = ring_distance(rank_of[idx], rank_of[tidx], n);
+        if let Some(trank) = v.index_of(node.lrl()) {
+            let d = ring_distance(rank, trank, n);
             if d > 0 {
                 lengths.push(d);
             }
         }
     }
     lengths
+}
+
+/// Snapshot spelling of [`lrl_lengths_view`].
+pub fn lrl_lengths(s: &Snapshot) -> Vec<usize> {
+    lrl_lengths_view(&s.as_view())
 }
 
 /// The harmonic CDF over lengths `1..=max_d`: `F(d) = H_d / H_max`.
@@ -77,8 +78,17 @@ pub fn log_corrected_harmonic_cdf(max_d: usize, epsilon: f64) -> Vec<f64> {
 }
 
 /// Kolmogorov–Smirnov distance between the empirical distribution of
-/// `lengths` (values clamped to `1..=max_d`) and an arbitrary reference
-/// CDF over `1..=max_d`. Returns 1.0 for an empty sample.
+/// `lengths` and an arbitrary reference CDF over `1..=max_d` (where
+/// `max_d = cdf.len()`). Returns 1.0 for an empty sample.
+///
+/// # Contract
+/// Every length must lie in `1..=max_d`: the measured quantity is a ring
+/// distance, which is bounded by `⌊n/2⌋`, so an out-of-range value means
+/// the caller computed `max_d` against the wrong `n`. Debug builds panic
+/// on a violation; release builds clamp into the end bins (a 0 becomes 1,
+/// an overflow becomes `max_d`) so a production sweep degrades instead of
+/// aborting — but the clamp can mask a broken `max_d`, which is exactly
+/// why the debug assertion exists.
 pub fn ks_to_cdf(lengths: &[usize], cdf: &[f64]) -> f64 {
     if lengths.is_empty() {
         return 1.0;
@@ -86,6 +96,10 @@ pub fn ks_to_cdf(lengths: &[usize], cdf: &[f64]) -> f64 {
     let max_d = cdf.len();
     let mut counts = vec![0u64; max_d];
     for &d in lengths {
+        debug_assert!(
+            (1..=max_d).contains(&d),
+            "length {d} outside 1..={max_d}: max_d was computed for a different n"
+        );
         counts[d.clamp(1, max_d) - 1] += 1;
     }
     let n = lengths.len() as f64;
@@ -197,6 +211,49 @@ mod tests {
     #[test]
     fn ks_of_empty_sample_is_one() {
         assert_eq!(ks_to_harmonic(&[], 10), 1.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside 1..=10")]
+    fn ks_rejects_out_of_range_lengths_in_debug() {
+        let _ = ks_to_harmonic(&[1, 5, 11], 10);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside 1..=10")]
+    fn ks_rejects_zero_length_in_debug() {
+        let _ = ks_to_harmonic(&[0], 10);
+    }
+
+    #[test]
+    fn lrl_lengths_view_matches_snapshot_variant() {
+        use swn_core::config::ProtocolConfig;
+        use swn_core::id::{evenly_spaced_ids, Extended};
+        use swn_core::node::Node;
+        let ids = evenly_spaced_ids(10);
+        let cfg = ProtocolConfig::default();
+        let mut nodes = swn_core::invariants::make_sorted_ring(&ids, cfg);
+        nodes[1] = Node::with_state(
+            ids[1],
+            Extended::Fin(ids[0]),
+            Extended::Fin(ids[2]),
+            ids[8],
+            None,
+            cfg,
+        );
+        nodes[4] = Node::with_state(
+            ids[4],
+            Extended::Fin(ids[3]),
+            Extended::Fin(ids[5]),
+            ids[5],
+            None,
+            cfg,
+        );
+        let s = Snapshot::from_nodes(nodes);
+        assert_eq!(lrl_lengths_view(&s.as_view()), lrl_lengths(&s));
+        assert!(!lrl_lengths(&s).is_empty());
     }
 
     #[test]

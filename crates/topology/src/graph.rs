@@ -4,7 +4,7 @@
 //! node's identifier). The graph is directed; most metrics work on the
 //! symmetrized [`undirected_view`](Graph::undirected_view).
 
-use swn_core::views::{Snapshot, View};
+use swn_core::views::{NetView, Snapshot, View};
 
 /// A directed graph over `0..n` with adjacency lists.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,6 +45,19 @@ impl Graph {
         for (u, v) in s.edges(view) {
             g.add_edge(rank_of[u] as usize, rank_of[v] as usize);
         }
+        g
+    }
+
+    /// Extracts the given connectivity view of a borrowed [`NetView`] as
+    /// a graph over id ranks. The view is already in ascending id order,
+    /// so its indices *are* ranks and the edges stream in with no rank
+    /// table and no state clone — this is the zero-copy analogue of
+    /// [`Graph::from_snapshot`].
+    pub fn from_view(v: &NetView<'_>, view: View) -> Self {
+        let mut g = Graph::new(v.len());
+        v.for_each_edge(view, |u, w| {
+            g.add_edge(u, w);
+        });
         g
     }
 
@@ -174,6 +187,30 @@ mod tests {
         let r = Graph::from_snapshot(&s, View::Rcp);
         assert!(r.neighbors(0).contains(&4), "ring edge min→max");
         assert!(r.neighbors(4).contains(&0));
+    }
+
+    #[test]
+    fn from_view_matches_from_snapshot() {
+        let ids = evenly_spaced_ids(9);
+        let nodes = make_sorted_ring(&ids, ProtocolConfig::default());
+        let s = swn_core::views::Snapshot::from_nodes(nodes);
+        for view in [
+            View::Cp,
+            View::Cc,
+            View::Lcp,
+            View::Lcc,
+            View::Rcp,
+            View::Rcc,
+        ] {
+            let a = Graph::from_snapshot(&s, view);
+            let b = Graph::from_view(&s.as_view(), view);
+            assert_eq!(a.n(), b.n(), "{view:?}");
+            let mut ea: Vec<_> = a.edges().collect();
+            let mut eb: Vec<_> = b.edges().collect();
+            ea.sort_unstable();
+            eb.sort_unstable();
+            assert_eq!(ea, eb, "{view:?}");
+        }
     }
 
     #[test]
