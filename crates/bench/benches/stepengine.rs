@@ -1,0 +1,336 @@
+//! Step-engine phase breakdown: where a simulated round actually spends
+//! its time.
+//!
+//! `Network::step` is a pipeline of five mechanisms — route lookup
+//! (id → channel slot), channel delivery (`take_deliverable_into`),
+//! outbox flushing, the per-round activation shuffle, and stats
+//! accounting. This bench times each mechanism in isolation on the same
+//! data shapes the round loop produces, plus the whole `step` as the
+//! ground truth the parts must add up against (roughly — the protocol
+//! handlers themselves own the remainder).
+//!
+//! Besides the criterion group, the bench emits `BENCH_stepengine.json`
+//! (workspace root, or wherever `SWN_BENCH_OUT` points) with one entry
+//! per network size. The route phase times the dense [`SlotIndex`]
+//! against the `BTreeMap` it replaced, so the recorded ratio documents
+//! what the O(1) routing rewrite bought at each scale.
+//!
+//! `SWN_BENCH_QUICK=1` shrinks sizes and iteration counts so CI can
+//! smoke-run the bench in seconds.
+//!
+//! [`SlotIndex`]: swn_sim::slots::SlotIndex
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt as _, SeedableRng};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+use swn_core::config::ProtocolConfig;
+use swn_core::id::{evenly_spaced_ids, NodeId};
+use swn_core::invariants::make_sorted_ring;
+use swn_core::message::{Message, MessageKind};
+use swn_core::outbox::Outbox;
+use swn_sim::channel::{Channel, DeliveryPolicy};
+use swn_sim::slots::SlotIndex;
+use swn_sim::trace::RoundStats;
+use swn_sim::Network;
+
+fn quick_mode() -> bool {
+    std::env::var_os("SWN_BENCH_QUICK").is_some()
+}
+
+fn out_path() -> std::path::PathBuf {
+    match std::env::var_os("SWN_BENCH_OUT") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("BENCH_stepengine.json"),
+    }
+}
+
+/// Times `iters` calls of `f` and returns nanoseconds per call.
+fn ns_per<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+/// A fixed pseudo-random probe sequence over the live id set, drawn
+/// ahead of timing so the dense index and the `BTreeMap` chase the same
+/// ids in the same order.
+fn probe_sequence(ids: &[NodeId], len: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| ids[rng.random_range(0..ids.len())])
+        .collect()
+}
+
+/// One size's phase timings, all in nanoseconds per operation (the
+/// operation is named in each field's doc).
+#[derive(Serialize)]
+struct PhaseEntry {
+    n: usize,
+    /// One whole `Network::step` on a warmed stable ring.
+    step_ns_per_round: f64,
+    /// One `SlotIndex::get` of a live id (the engine's route lookup).
+    route_dense_ns_per_lookup: f64,
+    /// The same lookup on the `BTreeMap` the dense index replaced.
+    route_btree_ns_per_lookup: f64,
+    /// `route_btree / route_dense` — what O(1) routing bought.
+    route_speedup: f64,
+    /// One push-4-deliver cycle of `Channel::take_deliverable_into`
+    /// (the stable-state per-node channel load).
+    channel_ns_per_cycle: f64,
+    /// One 4-send outbox batch: send, walk `sends()`, clear.
+    outbox_ns_per_flush: f64,
+    /// One activation-order rebuild: copy the cached sorted slot list
+    /// and shuffle it (length n).
+    shuffle_ns_per_round: f64,
+    /// One round of stats accounting: a few kind counters plus the
+    /// by-value `RoundStats` push into the trace.
+    stats_ns_per_round: f64,
+}
+
+#[derive(Serialize)]
+struct StepengineRecord {
+    quick: bool,
+    entries: Vec<PhaseEntry>,
+}
+
+/// Whole-step ground truth: per-round cost on a warmed stable ring.
+fn measure_step(n: usize, rounds: u64) -> f64 {
+    let ids = evenly_spaced_ids(n);
+    let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 7);
+    net.run(20);
+    let start = Instant::now();
+    net.run(rounds);
+    start.elapsed().as_secs_f64() * 1e9 / rounds as f64
+}
+
+/// Route phase: dense `SlotIndex` vs the `BTreeMap` oracle over an
+/// identical lookup stream of live ids.
+fn measure_route(n: usize, iters: usize) -> (f64, f64) {
+    let ids = evenly_spaced_ids(n);
+    let mut index = SlotIndex::new();
+    let mut map: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for (slot, &id) in ids.iter().enumerate() {
+        index.insert(id, slot);
+        map.insert(id, slot);
+    }
+    let probes = probe_sequence(&ids, 4096, 42);
+    let mut cursor = 0usize;
+    let mut acc = 0usize;
+    let dense = ns_per(iters, || {
+        let id = probes[cursor % probes.len()];
+        cursor += 1;
+        acc += black_box(index.get(id)).unwrap_or(0);
+    });
+    black_box(acc);
+    cursor = 0;
+    let mut acc = 0usize;
+    let btree = ns_per(iters, || {
+        let id = probes[cursor % probes.len()];
+        cursor += 1;
+        acc += black_box(map.get(&id).copied()).unwrap_or(0);
+    });
+    black_box(acc);
+    (dense, btree)
+}
+
+/// Channel phase: the stable-state per-node cycle — four same-round
+/// pushes, then a `take_deliverable_into` one round later (every message
+/// eligible, i.e. the swap fast path the engine hits almost always).
+fn measure_channel(iters: usize) -> f64 {
+    let mut ch = Channel::new();
+    let mut out: Vec<Message> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut now = 0u64;
+    ns_per(iters, || {
+        for k in 0..4u64 {
+            ch.push(
+                Message::Lin(NodeId::from_fraction((k + 1) as f64 / 8.0)),
+                now,
+            );
+        }
+        now += 1;
+        ch.take_deliverable_into(now, DeliveryPolicy::Immediate, &mut rng, &mut out);
+        black_box(out.len());
+    })
+}
+
+/// Outbox phase: one batched flush — four sends, a walk of the send
+/// list, and the buffer reset. (Route lookup and the channel push the
+/// real flush performs are the other phases.)
+fn measure_outbox(iters: usize) -> f64 {
+    let mut ob = Outbox::new();
+    let dests = [
+        NodeId::from_fraction(0.2),
+        NodeId::from_fraction(0.4),
+        NodeId::from_fraction(0.6),
+        NodeId::from_fraction(0.8),
+    ];
+    let mut total = 0usize;
+    let out = ns_per(iters, || {
+        for &d in &dests {
+            ob.send(d, Message::Lin(d));
+        }
+        for &(dest, msg) in ob.sends() {
+            total += usize::from(msg.carried_ids().any(|id| id == dest));
+        }
+        ob.clear();
+    });
+    black_box(total);
+    out
+}
+
+/// Shuffle phase: the per-round activation order — copy the cached
+/// sorted slot list into the scratch buffer and shuffle it.
+fn measure_shuffle(n: usize, iters: usize) -> f64 {
+    let sorted: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut rng = StdRng::seed_from_u64(11);
+    ns_per(iters, || {
+        order.clear();
+        order.extend_from_slice(&sorted);
+        order.shuffle(&mut rng);
+        black_box(order.last().copied());
+    })
+}
+
+/// Stats phase: a round's worth of counter bumps plus the by-value
+/// `RoundStats` append into the trace (the clone this PR removed).
+fn measure_stats(iters: usize) -> f64 {
+    let mut trace: Vec<RoundStats> = Vec::with_capacity(iters);
+    ns_per(iters, || {
+        let mut stats = RoundStats::default();
+        for _ in 0..2 {
+            stats.count_sent(MessageKind::Lin);
+            stats.count_delivered(MessageKind::Lin);
+        }
+        stats.count_sent(MessageKind::IncLrl);
+        stats.count_delivered(MessageKind::ResLrl);
+        trace.push(stats);
+        black_box(stats.total_sent());
+    })
+}
+
+fn phase_entry(n: usize, quick: bool) -> PhaseEntry {
+    let lookup_iters = if quick { 1 << 16 } else { 1 << 20 };
+    let cycle_iters = if quick { 20_000 } else { 100_000 };
+    let round_iters = if quick { 200 } else { 1_000 };
+    let step_rounds = if quick { 30 } else { 200 };
+    let (route_dense, route_btree) = measure_route(n, lookup_iters);
+    PhaseEntry {
+        n,
+        step_ns_per_round: measure_step(n, step_rounds),
+        route_dense_ns_per_lookup: route_dense,
+        route_btree_ns_per_lookup: route_btree,
+        route_speedup: route_btree / route_dense.max(1e-9),
+        channel_ns_per_cycle: measure_channel(cycle_iters),
+        outbox_ns_per_flush: measure_outbox(cycle_iters),
+        shuffle_ns_per_round: measure_shuffle(n, round_iters),
+        stats_ns_per_round: measure_stats(cycle_iters),
+    }
+}
+
+/// Emits `BENCH_stepengine.json` and prints the per-size breakdown.
+fn emit_stepengine_record(_c: &mut Criterion) {
+    let quick = quick_mode();
+    let sizes: &[usize] = if quick { &[256] } else { &[2048, 8192] };
+    let entries: Vec<PhaseEntry> = sizes.iter().map(|&n| phase_entry(n, quick)).collect();
+    for e in &entries {
+        println!(
+            "stepengine n={}: step {:.0} ns/round | route {:.1} ns dense vs {:.1} ns btree \
+             ({:.2}x) | channel {:.0} ns/cycle | outbox {:.0} ns/flush | shuffle {:.0} ns/round \
+             | stats {:.0} ns/round",
+            e.n,
+            e.step_ns_per_round,
+            e.route_dense_ns_per_lookup,
+            e.route_btree_ns_per_lookup,
+            e.route_speedup,
+            e.channel_ns_per_cycle,
+            e.outbox_ns_per_flush,
+            e.shuffle_ns_per_round,
+            e.stats_ns_per_round,
+        );
+    }
+    let record = StepengineRecord { quick, entries };
+    let path = out_path();
+    let json = serde_json::to_string(&record).expect("serialize bench record");
+    std::fs::write(&path, json).expect("write BENCH_stepengine.json");
+    println!("stepengine record -> {}", path.display());
+}
+
+/// The same phases as criterion benchmarks, so regressions show up in
+/// the regular bench report with statistics.
+fn bench_phases(c: &mut Criterion) {
+    let quick = quick_mode();
+    let n = if quick { 256 } else { 2048 };
+    let mut group = c.benchmark_group("stepengine");
+    group.sample_size(if quick { 5 } else { 20 });
+
+    let ids = evenly_spaced_ids(n);
+    let mut index = SlotIndex::new();
+    let mut map: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for (slot, &id) in ids.iter().enumerate() {
+        index.insert(id, slot);
+        map.insert(id, slot);
+    }
+    let probes = probe_sequence(&ids, 4096, 42);
+    let mut cursor = 0usize;
+    group.bench_with_input(BenchmarkId::new("route_dense", n), &n, |b, _| {
+        b.iter(|| {
+            let id = probes[cursor % probes.len()];
+            cursor += 1;
+            black_box(index.get(id))
+        });
+    });
+    cursor = 0;
+    group.bench_with_input(BenchmarkId::new("route_btree", n), &n, |b, _| {
+        b.iter(|| {
+            let id = probes[cursor % probes.len()];
+            cursor += 1;
+            black_box(map.get(&id).copied())
+        });
+    });
+
+    let mut ch = Channel::new();
+    let mut out: Vec<Message> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut now = 0u64;
+    group.bench_with_input(BenchmarkId::new("channel_cycle", n), &n, |b, _| {
+        b.iter(|| {
+            for k in 0..4u64 {
+                ch.push(
+                    Message::Lin(NodeId::from_fraction((k + 1) as f64 / 8.0)),
+                    now,
+                );
+            }
+            now += 1;
+            ch.take_deliverable_into(now, DeliveryPolicy::Immediate, &mut rng, &mut out);
+            black_box(out.len())
+        });
+    });
+
+    let sorted: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut shuffle_rng = StdRng::seed_from_u64(11);
+    group.bench_with_input(BenchmarkId::new("shuffle", n), &n, |b, _| {
+        b.iter(|| {
+            order.clear();
+            order.extend_from_slice(&sorted);
+            order.shuffle(&mut shuffle_rng);
+            black_box(order.last().copied())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, emit_stepengine_record, bench_phases);
+criterion_main!(benches);

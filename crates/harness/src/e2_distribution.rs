@@ -18,6 +18,7 @@ use crate::table::{f3, Table};
 use crate::testbed::stabilized_network;
 use swn_baselines::chaintreau::MoveForgetRing;
 use swn_core::config::ProtocolConfig;
+use swn_sim::parallel::run_trials;
 use swn_topology::distribution::{
     ks_to_cdf, ks_to_harmonic, log_corrected_harmonic_cdf, log_log_slope, lrl_lengths_view,
 };
@@ -117,20 +118,33 @@ pub fn run(p: &Params) -> Table {
             "system", "n", "samples", "KS harm", "KS corr", "slope",
         ],
     );
-    for &n in &p.sizes {
-        for (label, stats) in [
-            ("protocol", protocol_fit(n, p, 42 + n as u64)),
-            ("move-forget", baseline_fit(n, p, 42 + n as u64)),
-        ] {
-            t.push_row(vec![
-                label.to_string(),
-                n.to_string(),
-                stats.samples.to_string(),
-                f3(stats.ks_harmonic),
-                f3(stats.ks_corrected),
-                f3(stats.slope),
-            ]);
+    // One trial per (size, system) cell, in parallel. Each cell's seed
+    // depends only on its size, so the table is identical no matter how
+    // many workers ran it.
+    let fits = run_trials(p.sizes.len() * 2, |i| {
+        let n = p.sizes[i / 2];
+        let seed = 42 + n as u64;
+        if i % 2 == 0 {
+            protocol_fit(n, p, seed)
+        } else {
+            baseline_fit(n, p, seed)
         }
+    });
+    for (i, stats) in fits.iter().enumerate() {
+        let n = p.sizes[i / 2];
+        let label = if i % 2 == 0 {
+            "protocol"
+        } else {
+            "move-forget"
+        };
+        t.push_row(vec![
+            label.to_string(),
+            n.to_string(),
+            stats.samples.to_string(),
+            f3(stats.ks_harmonic),
+            f3(stats.ks_corrected),
+            f3(stats.slope),
+        ]);
     }
     t
 }

@@ -26,6 +26,7 @@ use swn_baselines::chord::chord;
 use swn_baselines::kleinberg::{kleinberg_ring, uniform_shortcut_ring};
 use swn_baselines::ring_lattice::cycle;
 use swn_core::config::ProtocolConfig;
+use swn_sim::parallel::par_map;
 use swn_topology::routing::{evaluate_routing, RoutingStats};
 use swn_topology::Graph;
 
@@ -162,27 +163,34 @@ pub fn run(p: &Params) -> Table {
     );
     let mut series: Vec<(System, Vec<(f64, f64)>)> =
         System::ALL.iter().map(|&s| (s, Vec::new())).collect();
-    for &n in &p.sizes {
+    // Every (size, system) cell is an independent seeded measurement
+    // (seed depends only on n), so run them all in parallel and render
+    // in the deterministic cell order afterwards.
+    let cells: Vec<(usize, System)> = p
+        .sizes
+        .iter()
+        .flat_map(|&n| System::ALL.iter().map(move |&sys| (n, sys)))
+        .collect();
+    let measured = par_map(&cells, |&(n, sys)| measure(sys, n, p, 1000 + n as u64));
+    for (&(n, sys), stats) in cells.iter().zip(&measured) {
+        let Some(stats) = stats else {
+            continue;
+        };
         let lnsq = (n as f64).ln().powi(2);
-        for &sys in &System::ALL {
-            let Some(stats) = measure(sys, n, p, 1000 + n as u64) else {
-                continue;
-            };
-            series
-                .iter_mut()
-                .find(|(s, _)| *s == sys)
-                .expect("series exists")
-                .1
-                .push((n as f64, stats.mean_hops));
-            t.push_row(vec![
-                sys.label().to_string(),
-                n.to_string(),
-                f2(stats.mean_hops),
-                stats.p99_hops.to_string(),
-                f2(stats.success_rate()),
-                f2(lnsq),
-            ]);
-        }
+        series
+            .iter_mut()
+            .find(|(s, _)| *s == sys)
+            .expect("series exists")
+            .1
+            .push((n as f64, stats.mean_hops));
+        t.push_row(vec![
+            sys.label().to_string(),
+            n.to_string(),
+            f2(stats.mean_hops),
+            stats.p99_hops.to_string(),
+            f2(stats.success_rate()),
+            f2(lnsq),
+        ]);
     }
     for (sys, pts) in &series {
         if let Some(e) = polylog_exponent(pts) {

@@ -19,6 +19,7 @@ use crate::probe_walk::{replay_lrl_probe, ProbeOutcome};
 use crate::table::{f2, mean, Table};
 use crate::testbed::harmonic_network;
 use swn_core::config::ProtocolConfig;
+use swn_sim::parallel::run_trials;
 
 /// Parameters for E4.
 #[derive(Clone, Debug)]
@@ -89,8 +90,12 @@ pub fn measure(p: &Params, seed: u64) -> ProbeMeasurement {
         for (rank, &idx) in order.iter().enumerate() {
             rank_of[idx] = rank;
         }
-        for idx in 0..s.len() {
-            match replay_lrl_probe(&s, idx) {
+        // Probe replays are independent deterministic walks on the
+        // frozen snapshot, so fan them out and fold in index order —
+        // results do not depend on the worker count.
+        let outcomes = run_trials(s.len(), |idx| replay_lrl_probe(&s, idx));
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
                 Some(ProbeOutcome::Arrived { hops }) => {
                     let node = &s.nodes()[idx];
                     let tidx = s.index_of(node.lrl()).expect("arrived ⇒ target exists");

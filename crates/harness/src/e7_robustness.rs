@@ -21,6 +21,7 @@ use swn_baselines::chord::chord;
 use swn_baselines::kleinberg::kleinberg_ring;
 use swn_baselines::random_graph::gnm;
 use swn_core::config::ProtocolConfig;
+use swn_sim::parallel::par_map;
 use swn_topology::robustness::{sweep, FailureMode, RobustnessPoint};
 use swn_topology::Graph;
 
@@ -129,27 +130,40 @@ pub fn run(p: &Params) -> Table {
             "routing ok",
         ],
     );
-    for &sys in &System::ALL {
-        let deg = {
-            let g = build_graph(sys, p, 777);
-            g.undirected_view().m() as f64 / p.n as f64
-        };
-        for mode in [FailureMode::Random, FailureMode::TargetedHighestDegree] {
-            let pts = measure(sys, mode, p, 777);
-            for pt in pts {
-                t.push_row(vec![
-                    sys.label().to_string(),
-                    f2(deg),
-                    match mode {
-                        FailureMode::Random => "random",
-                        FailureMode::TargetedHighestDegree => "attack",
-                    }
-                    .to_string(),
-                    f2(pt.removed_frac),
-                    f2(pt.giant_frac),
-                    f2(pt.routing_success),
-                ]);
-            }
+    // The (system, mode) sweeps share nothing and use the fixed seed
+    // 777, so run them (and the per-system degree census) in parallel;
+    // rows are rendered in the deterministic cell order afterwards.
+    let degs = par_map(&System::ALL, |&sys| {
+        let g = build_graph(sys, p, 777);
+        g.undirected_view().m() as f64 / p.n as f64
+    });
+    let cells: Vec<(System, FailureMode)> = System::ALL
+        .iter()
+        .flat_map(|&sys| {
+            [FailureMode::Random, FailureMode::TargetedHighestDegree]
+                .into_iter()
+                .map(move |mode| (sys, mode))
+        })
+        .collect();
+    let sweeps = par_map(&cells, |&(sys, mode)| measure(sys, mode, p, 777));
+    for (&(sys, mode), pts) in cells.iter().zip(&sweeps) {
+        let deg = degs[System::ALL
+            .iter()
+            .position(|&s| s == sys)
+            .expect("system is in ALL")];
+        for pt in pts {
+            t.push_row(vec![
+                sys.label().to_string(),
+                f2(deg),
+                match mode {
+                    FailureMode::Random => "random",
+                    FailureMode::TargetedHighestDegree => "attack",
+                }
+                .to_string(),
+                f2(pt.removed_frac),
+                f2(pt.giant_frac),
+                f2(pt.routing_success),
+            ]);
         }
     }
     t

@@ -16,6 +16,7 @@ use crate::testbed::stabilized_network;
 use swn_baselines::chaintreau::MoveForgetRing;
 use swn_core::config::ProtocolConfig;
 use swn_core::message::MessageKind;
+use swn_sim::parallel::run_trials;
 
 /// Parameters for E9.
 #[derive(Clone, Debug)]
@@ -105,9 +106,11 @@ pub fn rounds_all_forgotten(n: usize, p: &Params, seed: u64) -> u64 {
 /// can legitimately blow past any fixed multiple of n), so the median is
 /// the stable summary.
 pub fn rounds_all_forgotten_median(n: usize, p: &Params, seeds: usize) -> u64 {
-    let mut xs: Vec<u64> = (0..seeds)
-        .map(|s| rounds_all_forgotten(n, p, 99 + s as u64 * 7 + n as u64))
-        .collect();
+    // Per-seed trials in parallel; each seed is a function of the trial
+    // index alone, so the median is worker-count independent.
+    let mut xs = run_trials(seeds, |s| {
+        rounds_all_forgotten(n, p, 99 + s as u64 * 7 + n as u64)
+    });
     xs.sort_unstable();
     xs[xs.len() / 2]
 }
@@ -122,9 +125,17 @@ pub fn run(p: &Params) -> Table {
             "all-forgot rd", "rd/n",
         ],
     );
-    for &n in &p.sizes {
-        let c = census(n, p, 99 + n as u64);
-        let age = rounds_all_forgotten_median(n, p, 5);
+    // One trial per size (the census simulation dominates); seeds depend
+    // only on n, so the table is worker-count independent.
+    let rows = run_trials(p.sizes.len(), |i| {
+        let n = p.sizes[i];
+        (
+            census(n, p, 99 + n as u64),
+            rounds_all_forgotten_median(n, p, 5),
+        )
+    });
+    for (c, age) in rows {
+        let n = c.n;
         let k = |kind: MessageKind| c.per_kind[kind.index()];
         t.push_row(vec![
             n.to_string(),

@@ -99,6 +99,13 @@ impl Channel {
         &self.msgs
     }
 
+    /// Empties the channel but keeps its allocation, so churn can recycle
+    /// a departed node's channel storage for the slot's next occupant.
+    pub fn clear(&mut self) {
+        self.msgs.clear();
+        self.enqueued.clear();
+    }
+
     /// Takes the messages to deliver in round `now` under `policy`,
     /// shuffled (channels are unordered). Only messages enqueued *before*
     /// `now` are eligible, so a message is never received in the same
@@ -126,6 +133,21 @@ impl Channel {
         out: &mut Vec<Message>,
     ) {
         out.clear();
+        // Fast path for the hot case: `Immediate` policy with every
+        // queued message eligible (nobody sent to this node yet in the
+        // current round). The whole storage is handed to `out` by
+        // pointer swap instead of a message-by-message compaction copy.
+        // Element order (enqueue order, like the general path's push
+        // order) and RNG consumption (one shuffle of the same length)
+        // are identical, so traces are bit-for-bit unchanged. The
+        // eligibility scan must check *every* element: `preload` and
+        // same-round sends make `enqueued` non-monotone.
+        if matches!(policy, DeliveryPolicy::Immediate) && self.enqueued.iter().all(|&e| e < now) {
+            std::mem::swap(&mut self.msgs, out);
+            self.enqueued.clear();
+            out.shuffle(rng);
+            return;
+        }
         let mut kept = 0;
         for i in 0..self.msgs.len() {
             let enqueued_at = self.enqueued[i];
@@ -229,6 +251,41 @@ mod tests {
         let owned = b.take_deliverable(5, policy, &mut rng_b);
         assert_eq!(buf, owned);
         assert_eq!(a.as_slice(), b.as_slice(), "identical compaction");
+    }
+
+    #[test]
+    fn immediate_fast_path_matches_general_compaction_path() {
+        // Same eligible set, same seed: the swap fast path (all messages
+        // eligible) and the general compaction path (one ineligible
+        // straggler forces it) must produce the same delivery order.
+        let mut fast = Channel::new();
+        let mut slow = Channel::new();
+        for i in 1..=12 {
+            fast.push(lin(i as f64 / 100.0), 0);
+            slow.push(lin(i as f64 / 100.0), 0);
+        }
+        slow.push(lin(0.99), 5); // enqueued "now": ineligible, general path
+        let mut rng_f = StdRng::seed_from_u64(3);
+        let mut rng_s = StdRng::seed_from_u64(3);
+        let mut out_f = vec![lin(0.5)]; // stale content must be cleared
+        let mut out_s = Vec::new();
+        fast.take_deliverable_into(5, DeliveryPolicy::Immediate, &mut rng_f, &mut out_f);
+        slow.take_deliverable_into(5, DeliveryPolicy::Immediate, &mut rng_s, &mut out_s);
+        assert_eq!(out_f, out_s);
+        assert!(fast.is_empty());
+        assert_eq!(slow.len(), 1, "the straggler stays queued");
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut ch = Channel::new();
+        for i in 1..=8 {
+            ch.push(lin(i as f64 / 100.0), 0);
+        }
+        ch.clear();
+        assert!(ch.is_empty());
+        ch.push(lin(0.42), 3);
+        assert_eq!(ch.as_slice(), &[lin(0.42)]);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! * [`churn`] — join/leave injection and recovery measurement
 //!   (Theorem 4.24);
 //! * [`parallel`] — multi-seed trial execution across threads;
-//! * [`persist`] — JSON checkpointing of global states.
+//! * [`persist`] — JSON checkpointing of global states;
+//! * [`slots`] — the dense id→slot index behind O(1) message routing.
 //!
 //! ## Example
 //!
@@ -44,6 +45,7 @@ pub mod init;
 pub mod network;
 pub mod parallel;
 pub mod persist;
+pub mod slots;
 pub mod trace;
 
 pub use channel::DeliveryPolicy;

@@ -2,12 +2,16 @@
 //!
 //! Every experiment aggregates tens to hundreds of independent seeded
 //! trials. Trials share nothing, so we parallelize with scoped threads
-//! pulling indices from an atomic cursor — data-race-free by
-//! construction (each output slot is written by exactly one worker), with
+//! over contiguous index chunks: each worker computes its chunk into a
+//! thread-local vector and the chunks are concatenated in worker order.
+//! Workers never touch shared state — no mutex, no atomic cursor, no
+//! contention — and the output is in index order by construction, with
 //! no dependency beyond the standard library.
-
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! Because every trial derives its seed from its *index* (not from which
+//! worker ran it or when), results are independent of the worker count:
+//! `run_trials` on a 64-core box and a sequential fallback produce
+//! identical vectors.
 
 /// Runs `f` over `0..trials` on up to `available_parallelism` worker
 /// threads and returns the results in index order. `f` must be `Sync`
@@ -22,36 +26,43 @@ where
 {
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZero::get)
-        .unwrap_or(1)
-        .min(trials.max(1));
-    if workers <= 1 || trials <= 1 {
+        .unwrap_or(1);
+    run_trials_on(workers, trials, f)
+}
+
+/// [`run_trials`] with an explicit worker count — the testable core, and
+/// an override for callers that know better than `available_parallelism`
+/// (e.g. trials so long that imbalance dominates).
+///
+/// Indices are split into `workers` contiguous chunks whose sizes differ
+/// by at most one; worker `w` computes chunk `w` into its own vector.
+pub fn run_trials_on<R, F>(workers: usize, trials: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.min(trials);
+    if workers <= 1 {
         return (0..trials).map(f).collect();
     }
-
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(trials);
-    slots.resize_with(trials, || None);
-    let slots = Mutex::new(&mut slots);
-    let cursor = AtomicUsize::new(0);
-
+    let base = trials / workers;
+    let extra = trials % workers;
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= trials {
-                    break;
-                }
-                let r = f(i);
-                // Lock held only for the slot write, never across f(i).
-                slots.lock()[i] = Some(r);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                // The first `extra` chunks get one additional trial.
+                let start = w * base + w.min(extra);
+                let end = start + base + usize::from(w < extra);
+                let f = &f;
+                scope.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(trials);
+        for h in handles {
+            out.extend(h.join().expect("trial worker panicked"));
         }
-    });
-
-    slots
-        .into_inner()
-        .iter_mut()
-        .map(|s| s.take().expect("every trial produces a result"))
-        .collect()
+        out
+    })
 }
 
 /// Maps `f` over a slice in parallel, preserving order.
@@ -68,12 +79,55 @@ where
 mod tests {
     use super::*;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn results_are_in_index_order() {
         let out = run_trials(100, |i| i * 3);
         assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_stay_in_index_order_with_skewed_workloads() {
+        // Early indices take much longer than late ones, so without the
+        // chunked collect, late workers would finish (and once wrote)
+        // first. The output must still be in index order.
+        let expect: Vec<usize> = (0..23).map(|i| i * i).collect();
+        for workers in [2, 3, 5, 8, 23, 64] {
+            let out = run_trials_on(workers, 23, |i| {
+                if i < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                i * i
+            });
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn output_is_independent_of_worker_count() {
+        // Per-trial seeding means the result vector must not depend on
+        // how many workers ran it (1 = the sequential fallback).
+        let run = |workers| {
+            run_trials_on(workers, 17, |i| {
+                use rand::{RngExt as _, SeedableRng};
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + i as u64);
+                (0..50).map(|_| rng.random_range(0u64..1_000)).sum::<u64>()
+            })
+        };
+        let sequential = run(1);
+        for workers in [2, 4, 7, 17] {
+            assert_eq!(run(workers), sequential, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn chunk_split_covers_all_indices_exactly_once() {
+        // Uneven splits: trials not divisible by workers.
+        for (workers, trials) in [(3usize, 10usize), (4, 6), (7, 8), (5, 5), (9, 2)] {
+            let out = run_trials_on(workers, trials, |i| i);
+            assert_eq!(out, (0..trials).collect::<Vec<_>>(), "{workers}w/{trials}t");
+        }
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Dense id→slot index: O(1) message routing for the step engine.
+//!
+//! The simulator stores nodes and channels in slot vectors; every send
+//! must map a destination [`NodeId`] to its slot. A `BTreeMap` lookup
+//! costs O(log n) pointer chases per message, which PR 3's profiling put
+//! squarely on the hot path (several lookups per node per round). This
+//! index keeps **two** synchronized structures:
+//!
+//! * an open-addressing hash table (fibonacci hashing, linear probing,
+//!   backward-shift deletion) answering [`SlotIndex::get`] in O(1) with
+//!   no per-entry allocation — the routing path;
+//! * a `BTreeMap` for *ordered* traversal — `ids()`, snapshots, views
+//!   and the round-order materialization, which must stay deterministic
+//!   and sorted by id.
+//!
+//! The hash table is **never iterated**, so its (hash-dependent, hence
+//! insertion-order-dependent) internal layout can never leak into the
+//! simulation: determinism rests on the BTreeMap alone. Slot churn is
+//! the dangerous case — `remove_node` pushes a slot onto a free list and
+//! a later insert reuses it for a *different* id — and is covered by a
+//! proptest pitting this index against a `BTreeMap` oracle over random
+//! insert/remove/lookup sequences (`tests/slot_index_prop.rs`).
+
+use std::collections::BTreeMap;
+use swn_core::id::NodeId;
+
+/// Initial hash-table capacity (power of two).
+const INITIAL_CAPACITY: usize = 16;
+
+/// An id→slot map with O(1) lookup and ordered iteration.
+#[derive(Clone, Debug)]
+pub struct SlotIndex {
+    /// Ordered spelling: authoritative for iteration and length.
+    ordered: BTreeMap<NodeId, usize>,
+    /// Open-addressing table, power-of-two length, load factor ≤ 1/2.
+    table: Vec<Option<(NodeId, usize)>>,
+}
+
+impl Default for SlotIndex {
+    fn default() -> Self {
+        SlotIndex::new()
+    }
+}
+
+impl SlotIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        SlotIndex {
+            ordered: BTreeMap::new(),
+            table: vec![None; INITIAL_CAPACITY],
+        }
+    }
+
+    /// Fibonacci hashing: the high bits of `bits · φ⁻¹·2⁶⁴` mapped onto
+    /// the power-of-two table. High bits, because the low bits of a
+    /// multiplicative hash depend only on the low bits of the key.
+    #[inline]
+    fn home(bits: u64, table_len: usize) -> usize {
+        let h = bits.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // The shift leaves log2(table_len) bits, which fit usize.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (h >> (64 - table_len.trailing_zeros())) as usize
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ordered.is_empty()
+    }
+
+    /// O(1) slot lookup — the message-routing hot path.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> Option<usize> {
+        let mask = self.table.len() - 1;
+        let mut i = Self::home(id.bits(), self.table.len());
+        loop {
+            match self.table[i] {
+                None => return None,
+                Some((k, slot)) if k == id => return Some(slot),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// True when `id` is present.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Inserts `id → slot`. Returns false (and changes nothing) when the
+    /// id is already present.
+    pub fn insert(&mut self, id: NodeId, slot: usize) -> bool {
+        if self.contains(id) {
+            return false;
+        }
+        self.ordered.insert(id, slot);
+        if (self.ordered.len() + 1) * 2 > self.table.len() {
+            self.grow();
+        }
+        Self::raw_insert(&mut self.table, id, slot);
+        true
+    }
+
+    /// Removes `id`, returning its slot.
+    pub fn remove(&mut self, id: NodeId) -> Option<usize> {
+        let slot = self.ordered.remove(&id)?;
+        let mask = self.table.len() - 1;
+        let mut i = Self::home(id.bits(), self.table.len());
+        // The entry exists (the ordered map had it), so this terminates.
+        while self.table[i].is_none_or(|(k, _)| k != id) {
+            i = (i + 1) & mask;
+        }
+        self.table[i] = None;
+        // Backward-shift deletion: close the hole so later probes never
+        // stop early at it. An occupied entry at j moves into the hole at
+        // i exactly when i lies cyclically within [home(j-entry), j].
+        let mut j = (i + 1) & mask;
+        while let Some((k, s)) = self.table[j] {
+            let h = Self::home(k.bits(), self.table.len());
+            if j.wrapping_sub(h) & mask >= j.wrapping_sub(i) & mask {
+                self.table[i] = Some((k, s));
+                self.table[j] = None;
+                i = j;
+            }
+            j = (j + 1) & mask;
+        }
+        Some(slot)
+    }
+
+    /// The ids in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ordered.keys().copied()
+    }
+
+    /// The slots in ascending *id* order — the deterministic traversal
+    /// the round loop, snapshots and views are built from.
+    pub fn slots_by_id(&self) -> impl Iterator<Item = usize> + '_ {
+        self.ordered.values().copied()
+    }
+
+    fn grow(&mut self) {
+        let mut table = vec![None; self.table.len() * 2];
+        for entry in self.table.iter().flatten() {
+            Self::raw_insert(&mut table, entry.0, entry.1);
+        }
+        self.table = table;
+    }
+
+    fn raw_insert(table: &mut [Option<(NodeId, usize)>], id: NodeId, slot: usize) {
+        let mask = table.len() - 1;
+        let mut i = Self::home(id.bits(), table.len());
+        while table[i].is_some() {
+            i = (i + 1) & mask;
+        }
+        table[i] = Some((id, slot));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(bits: u64) -> NodeId {
+        NodeId::from_bits(bits)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut idx = SlotIndex::new();
+        assert!(idx.is_empty());
+        assert!(idx.insert(id(10), 0));
+        assert!(idx.insert(id(5), 1));
+        assert!(!idx.insert(id(10), 9), "duplicate insert must be refused");
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get(id(10)), Some(0));
+        assert_eq!(idx.get(id(5)), Some(1));
+        assert_eq!(idx.get(id(7)), None);
+        assert_eq!(idx.remove(id(10)), Some(0));
+        assert_eq!(idx.remove(id(10)), None);
+        assert_eq!(idx.get(id(10)), None);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn ordered_iteration_is_ascending_by_id() {
+        let mut idx = SlotIndex::new();
+        for (slot, bits) in [40u64, 7, 99, 23].into_iter().enumerate() {
+            idx.insert(id(bits), slot);
+        }
+        let ids: Vec<u64> = idx.ids().map(NodeId::bits).collect();
+        assert_eq!(ids, vec![7, 23, 40, 99]);
+        // Slots follow the id order, not insertion order.
+        let slots: Vec<usize> = idx.slots_by_id().collect();
+        assert_eq!(slots, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn survives_growth_past_many_rehashes() {
+        let mut idx = SlotIndex::new();
+        for k in 0..1000usize {
+            assert!(idx.insert(id(k as u64 * 0x1_0001), k));
+        }
+        assert_eq!(idx.len(), 1000);
+        for k in 0..1000usize {
+            assert_eq!(idx.get(id(k as u64 * 0x1_0001)), Some(k));
+        }
+    }
+
+    #[test]
+    fn backward_shift_keeps_probe_chains_intact() {
+        // Fill enough keys that probe chains form, then delete from the
+        // middle of chains and verify every survivor is still found.
+        let keys: Vec<u64> = (0..256u64).map(|k| k.wrapping_mul(0x9e3779b9)).collect();
+        let mut idx = SlotIndex::new();
+        for (slot, &k) in keys.iter().enumerate() {
+            idx.insert(id(k), slot);
+        }
+        for (slot, &k) in keys.iter().enumerate() {
+            if slot % 3 == 0 {
+                assert_eq!(idx.remove(id(k)), Some(slot));
+            }
+        }
+        for (slot, &k) in keys.iter().enumerate() {
+            let expect = if slot % 3 == 0 { None } else { Some(slot) };
+            assert_eq!(idx.get(id(k)), expect, "key {k} after deletions");
+        }
+    }
+
+    #[test]
+    fn slot_reuse_after_remove_reroutes_to_the_new_owner() {
+        // The churn pattern the network uses: a removed node's slot is
+        // recycled for a different id; lookups must route to the new id
+        // only.
+        let mut idx = SlotIndex::new();
+        idx.insert(id(1), 0);
+        idx.insert(id(2), 1);
+        assert_eq!(idx.remove(id(1)), Some(0));
+        idx.insert(id(3), 0); // reuse slot 0
+        assert_eq!(idx.get(id(1)), None);
+        assert_eq!(idx.get(id(3)), Some(0));
+        assert_eq!(idx.get(id(2)), Some(1));
+    }
+}

@@ -9,8 +9,10 @@ use serde::{Deserialize, Serialize};
 use swn_core::message::MessageKind;
 use swn_core::outbox::ProtocolEvent;
 
-/// Counters for one simulated round.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+/// Counters for one simulated round. `Copy` (it is a fixed pile of
+/// integers), so the round loop records it into the trace without a
+/// clone call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct RoundStats {
     /// Messages sent this round, by kind index (see
     /// [`MessageKind::index`]).
