@@ -15,6 +15,15 @@
 //! against the `BTreeMap` it replaced, so the recorded ratio documents
 //! what the O(1) routing rewrite bought at each scale.
 //!
+//! Since the observability layer landed (DESIGN.md §9) the whole-step
+//! measurement is a *pair*: the noop path (no sink attached — the
+//! `OBS = false` monomorphization, which must stay the pre-observability
+//! round loop) and the instrumented path (a `JsonlSink` over
+//! `io::sink()` at `sample_every = 16`). The noop number is guarded
+//! against the previously committed `BENCH_stepengine.json`: the ratio
+//! is always printed, and with `SWN_BENCH_ENFORCE=1` a noop regression
+//! beyond 3% fails the bench.
+//!
 //! `SWN_BENCH_QUICK=1` shrinks sizes and iteration counts so CI can
 //! smoke-run the bench in seconds.
 //!
@@ -24,7 +33,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt as _, SeedableRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
@@ -34,9 +43,16 @@ use swn_core::invariants::make_sorted_ring;
 use swn_core::message::{Message, MessageKind};
 use swn_core::outbox::Outbox;
 use swn_sim::channel::{Channel, DeliveryPolicy};
+use swn_sim::obs::JsonlSink;
 use swn_sim::slots::SlotIndex;
 use swn_sim::trace::RoundStats;
 use swn_sim::Network;
+
+/// Sampling interval for the instrumented whole-step measurement.
+const OBS_SAMPLE_EVERY: u64 = 16;
+
+/// Allowed regression of the noop step against the committed baseline.
+const NOOP_GUARD: f64 = 1.03;
 
 fn quick_mode() -> bool {
     std::env::var_os("SWN_BENCH_QUICK").is_some()
@@ -76,8 +92,14 @@ fn probe_sequence(ids: &[NodeId], len: usize, seed: u64) -> Vec<NodeId> {
 #[derive(Serialize)]
 struct PhaseEntry {
     n: usize,
-    /// One whole `Network::step` on a warmed stable ring.
+    /// One whole `Network::step` on a warmed stable ring, *no sink
+    /// attached* — the `OBS = false` monomorphization the guard pins.
     step_ns_per_round: f64,
+    /// The same step with a `JsonlSink` over `io::sink()` attached at
+    /// `sample_every = 16` — the instrumented half of the pair.
+    step_instrumented_ns_per_round: f64,
+    /// `step_instrumented / step` — what observation costs when on.
+    obs_overhead_ratio: f64,
     /// One `SlotIndex::get` of a live id (the engine's route lookup).
     route_dense_ns_per_lookup: f64,
     /// The same lookup on the `BTreeMap` the dense index replaced.
@@ -103,14 +125,80 @@ struct StepengineRecord {
     entries: Vec<PhaseEntry>,
 }
 
-/// Whole-step ground truth: per-round cost on a warmed stable ring.
-fn measure_step(n: usize, rounds: u64) -> f64 {
+/// The subset of a previously committed record the overhead guard
+/// needs. Extra fields in old/new files are ignored on parse, so this
+/// reads baselines from before and after the instrumented pair landed.
+#[derive(Deserialize)]
+struct PrevEntry {
+    n: usize,
+    step_ns_per_round: f64,
+}
+
+#[derive(Deserialize)]
+struct PrevRecord {
+    quick: bool,
+    entries: Vec<PrevEntry>,
+}
+
+/// Whole-step ground truth: per-round cost on a warmed stable ring,
+/// optionally with an attached JSONL sink draining into `io::sink()`.
+fn measure_step(n: usize, rounds: u64, instrumented: bool) -> f64 {
     let ids = evenly_spaced_ids(n);
     let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 7);
     net.run(20);
+    if instrumented {
+        let sink = Box::new(JsonlSink::new(Box::new(std::io::sink())));
+        net.attach_sink(sink, OBS_SAMPLE_EVERY);
+    }
     let start = Instant::now();
     net.run(rounds);
-    start.elapsed().as_secs_f64() * 1e9 / rounds as f64
+    let ns = start.elapsed().as_secs_f64() * 1e9 / rounds as f64;
+    net.detach_sink();
+    ns
+}
+
+/// Prints (and under `SWN_BENCH_ENFORCE=1` asserts) the noop-step ratio
+/// against the previously committed record at the same `(quick, n)`.
+fn guard_against_previous(record: &StepengineRecord, path: &std::path::Path) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        println!("stepengine guard: no previous record at {}", path.display());
+        return;
+    };
+    let prev: PrevRecord = match serde_json::from_str(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("stepengine guard: previous record unreadable ({e})");
+            return;
+        }
+    };
+    if prev.quick != record.quick {
+        println!(
+            "stepengine guard: previous record is {} mode, current is {} — skipping",
+            if prev.quick { "quick" } else { "full" },
+            if record.quick { "quick" } else { "full" },
+        );
+        return;
+    }
+    let enforce = std::env::var_os("SWN_BENCH_ENFORCE").is_some();
+    for e in &record.entries {
+        let Some(base) = prev.entries.iter().find(|p| p.n == e.n) else {
+            continue;
+        };
+        let ratio = e.step_ns_per_round / base.step_ns_per_round.max(1e-9);
+        println!(
+            "stepengine guard n={}: noop step {:.0} ns vs baseline {:.0} ns ({:.3}x, limit {NOOP_GUARD}x{})",
+            e.n,
+            e.step_ns_per_round,
+            base.step_ns_per_round,
+            ratio,
+            if enforce { ", enforced" } else { "" },
+        );
+        assert!(
+            !enforce || ratio <= NOOP_GUARD,
+            "noop step regressed at n={}: {ratio:.3}x > {NOOP_GUARD}x the committed baseline",
+            e.n
+        );
+    }
 }
 
 /// Route phase: dense `SlotIndex` vs the `BTreeMap` oracle over an
@@ -226,9 +314,13 @@ fn phase_entry(n: usize, quick: bool) -> PhaseEntry {
     let round_iters = if quick { 200 } else { 1_000 };
     let step_rounds = if quick { 30 } else { 200 };
     let (route_dense, route_btree) = measure_route(n, lookup_iters);
+    let step = measure_step(n, step_rounds, false);
+    let step_obs = measure_step(n, step_rounds, true);
     PhaseEntry {
         n,
-        step_ns_per_round: measure_step(n, step_rounds),
+        step_ns_per_round: step,
+        step_instrumented_ns_per_round: step_obs,
+        obs_overhead_ratio: step_obs / step.max(1e-9),
         route_dense_ns_per_lookup: route_dense,
         route_btree_ns_per_lookup: route_btree,
         route_speedup: route_btree / route_dense.max(1e-9),
@@ -246,11 +338,13 @@ fn emit_stepengine_record(_c: &mut Criterion) {
     let entries: Vec<PhaseEntry> = sizes.iter().map(|&n| phase_entry(n, quick)).collect();
     for e in &entries {
         println!(
-            "stepengine n={}: step {:.0} ns/round | route {:.1} ns dense vs {:.1} ns btree \
-             ({:.2}x) | channel {:.0} ns/cycle | outbox {:.0} ns/flush | shuffle {:.0} ns/round \
-             | stats {:.0} ns/round",
+            "stepengine n={}: step {:.0} ns/round (instrumented {:.0} ns, {:.3}x) | route {:.1} ns \
+             dense vs {:.1} ns btree ({:.2}x) | channel {:.0} ns/cycle | outbox {:.0} ns/flush \
+             | shuffle {:.0} ns/round | stats {:.0} ns/round",
             e.n,
             e.step_ns_per_round,
+            e.step_instrumented_ns_per_round,
+            e.obs_overhead_ratio,
             e.route_dense_ns_per_lookup,
             e.route_btree_ns_per_lookup,
             e.route_speedup,
@@ -262,6 +356,7 @@ fn emit_stepengine_record(_c: &mut Criterion) {
     }
     let record = StepengineRecord { quick, entries };
     let path = out_path();
+    guard_against_previous(&record, &path);
     let json = serde_json::to_string(&record).expect("serialize bench record");
     std::fs::write(&path, json).expect("write BENCH_stepengine.json");
     println!("stepengine record -> {}", path.display());
@@ -329,6 +424,40 @@ fn bench_phases(c: &mut Criterion) {
             black_box(order.last().copied())
         });
     });
+
+    // The instrumented-vs-noop whole-step pair, as statistics-backed
+    // criterion benchmarks mirroring the JSON record's pair.
+    let step_n = if quick { 128 } else { 1024 };
+    let ids = evenly_spaced_ids(step_n);
+    let mut noop_net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 7);
+    noop_net.run(20);
+    group.bench_with_input(
+        BenchmarkId::new("stable_step_noop", step_n),
+        &step_n,
+        |b, _| {
+            b.iter(|| {
+                noop_net.step();
+                black_box(noop_net.round())
+            });
+        },
+    );
+    let mut obs_net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 7);
+    obs_net.run(20);
+    obs_net.attach_sink(
+        Box::new(JsonlSink::new(Box::new(std::io::sink()))),
+        OBS_SAMPLE_EVERY,
+    );
+    group.bench_with_input(
+        BenchmarkId::new("stable_step_obs", step_n),
+        &step_n,
+        |b, _| {
+            b.iter(|| {
+                obs_net.step();
+                black_box(obs_net.round())
+            });
+        },
+    );
+    obs_net.detach_sink();
     group.finish();
 }
 

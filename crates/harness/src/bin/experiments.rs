@@ -1,14 +1,20 @@
 //! Experiment runner: regenerates every table of DESIGN.md §4.
 //!
 //! ```text
-//! experiments <id>... [--quick]
+//! experiments <id>... [--quick] [--trace-out FILE]
 //! experiments all [--quick]
+//! experiments report FILE
 //! experiments list
 //! ```
 //!
 //! Ids: e1 e2 e3 e4 e5 e6 e7 e8 e9 a1 a2 a3. `--quick` switches every
 //! experiment to its reduced-scale preset (used by CI smoke runs); the
 //! default is the full scale reported in EXPERIMENTS.md.
+//!
+//! `--trace-out FILE` additionally runs the id's representative traced
+//! scenario with a JSONL observation sink attached (see DESIGN.md §9);
+//! `report FILE` renders such a trace as a human-readable run report.
+//! With several ids, each id's trace goes to `FILE.<id>` instead.
 
 use std::time::Instant;
 use swn_harness::table::Table;
@@ -153,14 +159,56 @@ fn run_one(id: &str, quick: bool) -> Vec<Table> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args
+    let trace_out = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+        .position(|a| a == "--trace-out")
+        .map(|i| match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => std::path::PathBuf::from(path),
+            _ => {
+                eprintln!("--trace-out requires a file path");
+                std::process::exit(2);
+            }
+        });
+    let mut positional: Vec<&str> = Vec::new();
+    let mut skip = false;
+    for a in &args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--trace-out" {
+            skip = true;
+        } else if !a.starts_with("--") {
+            positional.push(a.as_str());
+        }
+    }
+    let ids = positional;
+
+    if let Some(("report", files)) = ids.split_first().map(|(f, r)| (*f, r)) {
+        if files.is_empty() {
+            eprintln!("usage: experiments report FILE");
+            std::process::exit(2);
+        }
+        for file in files {
+            let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+                eprintln!("cannot read {file}: {e}");
+                std::process::exit(1);
+            });
+            match swn_harness::report::render_report(&text) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
 
     if ids.is_empty() || ids == ["list"] {
-        println!("usage: experiments <id>... [--quick] | all [--quick] | list\n");
+        println!(
+            "usage: experiments <id>... [--quick] [--trace-out FILE] | all [--quick] | report FILE | list\n"
+        );
         for id in ALL_IDS {
             println!("  {id}  {}", describe(id));
         }
@@ -173,7 +221,8 @@ fn main() {
         ids
     };
 
-    for id in ids {
+    let multi = ids.len() > 1;
+    for id in &ids {
         let start = Instant::now();
         eprintln!(
             ">>> {id} ({}) — {}",
@@ -182,6 +231,23 @@ fn main() {
         );
         for table in run_one(id, quick) {
             table.print();
+        }
+        if let Some(base) = &trace_out {
+            // One trace per id: the given path for a single id, an
+            // id-suffixed sibling when several ids share the run.
+            let path = if multi {
+                base.with_extension(format!("{id}.jsonl"))
+            } else {
+                base.clone()
+            };
+            eprintln!(
+                "    tracing representative {id} scenario -> {}",
+                path.display()
+            );
+            if let Err(e) = swn_harness::runlog::write_trace(id, quick, &path) {
+                eprintln!("trace-out failed for {id}: {e}");
+                std::process::exit(1);
+            }
         }
         eprintln!("<<< {id} finished in {:.1?}\n", start.elapsed());
     }

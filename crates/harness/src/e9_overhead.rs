@@ -74,16 +74,11 @@ pub fn census(n: usize, p: &Params, seed: u64) -> Census {
     let mut net = stabilized_network(n, cfg, seed, p.warmup);
     let start = net.trace().len();
     net.run(p.window);
-    let rounds = &net.trace().rounds()[start..];
-    let mut per_kind = [0f64; MessageKind::COUNT];
-    for r in rounds {
-        for (acc, &sent) in per_kind.iter_mut().zip(&r.sent) {
-            *acc += sent as f64;
-        }
-    }
+    let sent = net.trace().sent_by_kind_in(start..net.trace().len());
     let denom = (n as u64 * p.window) as f64;
-    for v in &mut per_kind {
-        *v /= denom;
+    let mut per_kind = [0f64; MessageKind::COUNT];
+    for (v, &s) in per_kind.iter_mut().zip(&sent) {
+        *v = s as f64 / denom;
     }
     Census {
         n,

@@ -24,6 +24,8 @@ pub mod e7_robustness;
 pub mod e8_watts_strogatz;
 pub mod e9_overhead;
 pub mod probe_walk;
+pub mod report;
+pub mod runlog;
 pub mod table;
 pub mod testbed;
 pub mod x1_multidim;

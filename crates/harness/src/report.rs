@@ -1,0 +1,322 @@
+//! The `report` subcommand: renders a JSONL observation trace (written
+//! via `--trace-out`, see [`crate::runlog`]) as a human-readable run
+//! report — per-phase time breakdown, convergence timeline,
+//! message-kind mix over time and the distribution summaries.
+
+use std::fmt::Write as _;
+use swn_core::message::MessageKind;
+use swn_sim::obs::{parse_record, Event, Histogram};
+
+/// Renders the report for a JSONL trace (one record per line). Fails on
+/// malformed lines and unknown schema versions, with the line number.
+pub fn render_report(jsonl: &str) -> Result<String, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rec = parse_record(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(rec.event);
+    }
+    if events.is_empty() {
+        return Err("trace contains no records".to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "run report ({} records)", events.len());
+    render_meta(&mut out, &events);
+    render_timeline(&mut out, &events);
+    render_phases(&mut out, &events);
+    render_mix(&mut out, &events);
+    render_summary(&mut out, &events);
+    Ok(out)
+}
+
+fn render_meta(out: &mut String, events: &[Event]) {
+    for e in events {
+        if let Event::RunMeta {
+            n,
+            seed,
+            policy,
+            sample_every,
+            round,
+        } = e
+        {
+            let _ = writeln!(
+                out,
+                "  n={n} seed={seed} policy={policy} sample_every={sample_every} attached@round {round}"
+            );
+        }
+    }
+}
+
+fn render_timeline(out: &mut String, events: &[Event]) {
+    let transitions: Vec<(&str, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Transition { round, phase } => Some((phase.as_str(), *round)),
+            _ => None,
+        })
+        .collect();
+    let spans: Vec<(&str, u64, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span { label, start, end } => Some((label.as_str(), *start, *end)),
+            _ => None,
+        })
+        .collect();
+    if transitions.is_empty() && spans.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nconvergence timeline");
+    if !transitions.is_empty() {
+        let marks: Vec<String> = transitions
+            .iter()
+            .map(|(phase, round)| format!("{phase}@{round}"))
+            .collect();
+        let _ = writeln!(out, "  {}", marks.join("  "));
+    }
+    for (label, start, end) in spans {
+        let _ = writeln!(
+            out,
+            "  span {label}: rounds {start} -> {end} ({} rounds)",
+            end.saturating_sub(start)
+        );
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn render_phases(out: &mut String, events: &[Event]) {
+    const NAMES: [&str; 5] = ["shuffle", "channel", "deliver", "flush", "stats"];
+    let samples: Vec<[u64; 5]> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::PhaseTimes {
+                shuffle_ns,
+                channel_ns,
+                deliver_ns,
+                flush_ns,
+                stats_ns,
+                ..
+            } => Some([*shuffle_ns, *channel_ns, *deliver_ns, *flush_ns, *stats_ns]),
+            _ => None,
+        })
+        .collect();
+    if samples.is_empty() {
+        return;
+    }
+    let mut mean = [0f64; 5];
+    for s in &samples {
+        for (m, &v) in mean.iter_mut().zip(s) {
+            *m += v as f64;
+        }
+    }
+    for m in &mut mean {
+        *m /= samples.len() as f64;
+    }
+    let total: f64 = mean.iter().sum();
+    let _ = writeln!(
+        out,
+        "\nphase-time breakdown (mean over {} sampled rounds, total {:.1} us/round)",
+        samples.len(),
+        total / 1_000.0
+    );
+    for (name, m) in NAMES.iter().zip(&mean) {
+        let pct = if total > 0.0 { 100.0 * m / total } else { 0.0 };
+        let _ = writeln!(out, "  {name:<8} {:>10.1} ns  {pct:>5.1}%", m);
+    }
+}
+
+fn render_mix(out: &mut String, events: &[Event]) {
+    let rounds: Vec<(u64, &Vec<u64>)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Round { round, sent, .. } => Some((*round, sent)),
+            _ => None,
+        })
+        .collect();
+    if rounds.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nmessage-kind mix over time (sampled rounds)");
+    let mut header = String::from("  rounds          ");
+    for kind in MessageKind::ALL {
+        let _ = write!(header, "{:>8}", kind.name());
+    }
+    let _ = writeln!(out, "{header}{:>8}", "total");
+    // Up to six windows of consecutive samples, so long runs stay
+    // readable without losing the time dimension.
+    let per_window = rounds.len().div_ceil(6).max(1);
+    for w in rounds.chunks(per_window) {
+        let lo = w.first().map_or(0, |&(r, _)| r);
+        let hi = w.last().map_or(0, |&(r, _)| r);
+        let mut sums = vec![0u64; MessageKind::COUNT];
+        for (_, sent) in w {
+            for (acc, &s) in sums.iter_mut().zip(sent.iter()) {
+                *acc += s;
+            }
+        }
+        let mut row = format!("  {:>6} ..{:>6}  ", lo, hi);
+        for s in &sums {
+            let _ = write!(row, "{s:>8}");
+        }
+        let _ = writeln!(out, "{row}{:>8}", sums.iter().sum::<u64>());
+    }
+}
+
+fn render_summary(out: &mut String, events: &[Event]) {
+    for e in events {
+        if let Event::Summary {
+            rounds,
+            total_sent,
+            latency,
+            depth,
+            forget_age,
+            lrl_len,
+        } = e
+        {
+            let _ = writeln!(out, "\ntotals: {rounds} rounds, {total_sent} messages sent");
+            render_hist(out, "latency (rounds, enqueue->deliver)", latency);
+            render_hist(out, "channel depth high-water (msgs)", depth);
+            render_hist(out, "lrl age at forget (rounds)", forget_age);
+            render_hist(out, "lrl length (rank distance)", lrl_len);
+        }
+    }
+}
+
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+fn render_hist(out: &mut String, name: &str, h: &Histogram) {
+    if h.is_empty() {
+        let _ = writeln!(out, "  {name}: no samples");
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "  {name}: n={} mean={:.2} p50<={} p99<={} max={}",
+        h.count(),
+        h.mean(),
+        h.approx_quantile(0.5),
+        h.approx_quantile(0.99),
+        h.max()
+    );
+    let peak = h.buckets().iter().copied().max().unwrap_or(1).max(1);
+    for (b, &c) in h.buckets().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let (lo, hi) = Histogram::bucket_bounds(b);
+        let label = if lo == hi {
+            format!("{lo}")
+        } else if hi == u64::MAX {
+            format!("{lo}+")
+        } else {
+            format!("{lo}-{hi}")
+        };
+        let width = ((c as f64 / peak as f64) * 40.0).ceil() as usize;
+        let _ = writeln!(out, "    {label:>12} |{} {c}", "#".repeat(width.max(1)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swn_sim::obs::Record;
+
+    fn line(ev: Event) -> String {
+        serde_json::to_string(&Record::new(ev)).expect("serialize")
+    }
+
+    fn sample_trace() -> String {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1);
+        h.record(3);
+        let events = vec![
+            Event::RunMeta {
+                n: 16,
+                seed: 7,
+                policy: "Immediate".to_string(),
+                sample_every: 4,
+                round: 0,
+            },
+            Event::Round {
+                round: 4,
+                sent: vec![10, 2, 1, 1, 1, 0, 0],
+                delivered: 15,
+                dropped: 0,
+                bounced: 0,
+                depth_max: 3,
+            },
+            Event::PhaseTimes {
+                round: 4,
+                shuffle_ns: 100,
+                channel_ns: 300,
+                deliver_ns: 500,
+                flush_ns: 80,
+                stats_ns: 20,
+            },
+            Event::Transition {
+                round: 2,
+                phase: "lcc".to_string(),
+            },
+            Event::Transition {
+                round: 5,
+                phase: "list".to_string(),
+            },
+            Event::Transition {
+                round: 9,
+                phase: "ring".to_string(),
+            },
+            Event::Span {
+                label: "join".to_string(),
+                start: 10,
+                end: 14,
+            },
+            Event::Summary {
+                rounds: 9,
+                total_sent: 123,
+                latency: h.clone(),
+                depth: h.clone(),
+                forget_age: Histogram::new(),
+                lrl_len: h,
+            },
+        ];
+        events.into_iter().map(line).collect::<Vec<_>>().join("\n")
+    }
+
+    #[test]
+    fn report_contains_every_section() {
+        let report = render_report(&sample_trace()).expect("render");
+        assert!(report.contains("n=16 seed=7"), "{report}");
+        assert!(report.contains("lcc@2"), "{report}");
+        assert!(report.contains("list@5"), "{report}");
+        assert!(report.contains("ring@9"), "{report}");
+        assert!(report.contains("span join: rounds 10 -> 14 (4 rounds)"));
+        assert!(report.contains("phase-time breakdown"), "{report}");
+        assert!(report.contains("deliver"), "{report}");
+        assert!(report.contains("message-kind mix"), "{report}");
+        assert!(report.contains("lin"), "kind names present: {report}");
+        assert!(report.contains("123 messages sent"), "{report}");
+        assert!(report.contains("latency (rounds"), "{report}");
+        assert!(report.contains("no samples"), "empty forget hist: {report}");
+        // The deliver phase dominates the synthetic sample: 500/1000.
+        assert!(report.contains("50.0%"), "{report}");
+    }
+
+    #[test]
+    fn report_rejects_bad_input() {
+        assert!(render_report("").unwrap_err().contains("no records"));
+        assert!(render_report("not json").unwrap_err().contains("line 1"));
+        let mut bad = line(Event::Transition {
+            round: 1,
+            phase: "lcc".to_string(),
+        });
+        bad = bad.replace("\"v\":1", "\"v\":999");
+        let err = render_report(&bad).unwrap_err();
+        assert!(err.contains("unsupported schema_version"), "{err}");
+    }
+}

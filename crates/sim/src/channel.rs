@@ -171,6 +171,58 @@ impl Channel {
         self.enqueued.truncate(kept);
         out.shuffle(rng);
     }
+
+    /// [`Channel::take_deliverable_into`] with each message tagged by its
+    /// enqueue round — the observability layer's variant, feeding the
+    /// enqueue→deliver latency histogram.
+    ///
+    /// **RNG-stream equality.** Both paths make exactly the RNG calls of
+    /// the untagged variant in the same order: the per-element
+    /// `random_bool` draws depend only on `enqueued`/`now`/`policy`, and
+    /// `shuffle` on a slice consumes draws as a function of length alone,
+    /// not element type. So delivery order and every downstream draw are
+    /// bit-for-bit identical to an untagged run — pinned by the
+    /// `tagged_take_matches_untagged_order` test below and the golden
+    /// event-stream fingerprint.
+    pub fn take_deliverable_tagged<R: Rng + ?Sized>(
+        &mut self,
+        now: u64,
+        policy: DeliveryPolicy,
+        rng: &mut R,
+        out: &mut Vec<(Message, u64)>,
+    ) {
+        out.clear();
+        // Mirror of the untagged fast path: every queued message is
+        // eligible under Immediate, so hand everything over in enqueue
+        // order, then one shuffle.
+        if matches!(policy, DeliveryPolicy::Immediate) && self.enqueued.iter().all(|&e| e < now) {
+            out.extend(self.msgs.drain(..).zip(self.enqueued.drain(..)));
+            out.shuffle(rng);
+            return;
+        }
+        let mut kept = 0;
+        for i in 0..self.msgs.len() {
+            let enqueued_at = self.enqueued[i];
+            let deliver = enqueued_at < now
+                && match policy {
+                    DeliveryPolicy::Immediate => true,
+                    DeliveryPolicy::RandomDelay {
+                        p_deliver,
+                        max_delay,
+                    } => now - enqueued_at >= max_delay || rng.random_bool(p_deliver),
+                };
+            if deliver {
+                out.push((self.msgs[i], enqueued_at));
+            } else {
+                self.msgs[kept] = self.msgs[i];
+                self.enqueued[kept] = enqueued_at;
+                kept += 1;
+            }
+        }
+        self.msgs.truncate(kept);
+        self.enqueued.truncate(kept);
+        out.shuffle(rng);
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +326,57 @@ mod tests {
         assert_eq!(out_f, out_s);
         assert!(fast.is_empty());
         assert_eq!(slow.len(), 1, "the straggler stays queued");
+    }
+
+    #[test]
+    fn tagged_take_matches_untagged_order() {
+        // Same seed, same channel content: the tagged variant must
+        // deliver the same messages in the same order and consume the
+        // same RNG stream (checked via a post-take draw) as the untagged
+        // one — on the Immediate fast path, the Immediate general path
+        // (straggler) and under RandomDelay.
+        use rand::RngExt as _;
+        let scenarios: [(DeliveryPolicy, Option<u64>); 3] = [
+            (DeliveryPolicy::Immediate, None),
+            (DeliveryPolicy::Immediate, Some(5)), // straggler: general path
+            (
+                DeliveryPolicy::RandomDelay {
+                    p_deliver: 0.5,
+                    max_delay: 10,
+                },
+                None,
+            ),
+        ];
+        for (policy, straggler) in scenarios {
+            let mut plain = Channel::new();
+            let mut tagged = Channel::new();
+            for i in 1..=25 {
+                plain.push(lin(i as f64 / 100.0), i % 4);
+                tagged.push(lin(i as f64 / 100.0), i % 4);
+            }
+            if let Some(r) = straggler {
+                plain.push(lin(0.99), r);
+                tagged.push(lin(0.99), r);
+            }
+            let mut rng_p = StdRng::seed_from_u64(7);
+            let mut rng_t = StdRng::seed_from_u64(7);
+            let mut out_p = Vec::new();
+            let mut out_t = vec![(lin(0.5), 9)]; // stale content must clear
+            plain.take_deliverable_into(5, policy, &mut rng_p, &mut out_p);
+            tagged.take_deliverable_tagged(5, policy, &mut rng_t, &mut out_t);
+            let untag: Vec<Message> = out_t.iter().map(|&(m, _)| m).collect();
+            assert_eq!(untag, out_p, "{policy:?} delivery order diverged");
+            assert!(
+                out_t.iter().all(|&(_, e)| e < 5),
+                "only eligible messages delivered"
+            );
+            assert_eq!(plain.as_slice(), tagged.as_slice(), "same compaction");
+            assert_eq!(
+                rng_p.random_range(0u64..1_000_000),
+                rng_t.random_range(0u64..1_000_000),
+                "{policy:?} RNG streams diverged after take"
+            );
+        }
     }
 
     #[test]

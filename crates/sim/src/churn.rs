@@ -12,6 +12,7 @@
 //! O(ln^(2+ε) n) steps (Theorem 4.24, second part).
 
 use crate::network::Network;
+use crate::obs::Event;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -62,9 +63,15 @@ pub fn join(net: &mut Network, new_id: NodeId, contact: NodeId, max_rounds: u64)
     assert!(net.insert_node(newcomer), "id {new_id:?} already present");
     net.send_external(contact, Message::Lin(new_id));
     net.track_id(Some(new_id));
+    let start = net.round();
     let mut report = measure_recovery(net, max_rounds);
     report.path_nodes = net.tracked_forwarder_count();
     net.track_id(None);
+    net.emit(Event::Span {
+        label: "join".to_string(),
+        start,
+        end: net.round(),
+    });
     report
 }
 
@@ -105,7 +112,14 @@ pub fn leave(net: &mut Network, victim: NodeId, max_rounds: u64) -> RecoveryRepo
             net.insert_node(Node::with_state(id, l, r, lrl, ring, cfg));
         }
     }
-    measure_recovery(net, max_rounds)
+    let start = net.round();
+    let report = measure_recovery(net, max_rounds);
+    net.emit(Event::Span {
+        label: "leave".to_string(),
+        start,
+        end: net.round(),
+    });
+    report
 }
 
 /// Picks a uniformly random non-extremal victim (the paper's leave

@@ -2,6 +2,7 @@
 //! when each phase of the proof was reached.
 
 use crate::network::Network;
+use crate::obs::Event;
 use serde::{Deserialize, Serialize};
 use swn_core::invariants::{classify_view, is_sorted_list_view, is_sorted_ring_view, Phase};
 
@@ -78,6 +79,8 @@ pub fn run_to_ring(net: &mut Network, max_rounds: u64) -> ConvergenceReport {
     let mut phase = classify_view(&net.view());
     best = best.max(phase);
     note(phase, 0, &mut report);
+    let mut announced = [false; 3];
+    emit_new_milestones(net, &report, &mut announced);
 
     let mut round = 0;
     while report.rounds_to_ring.is_none() && round < max_rounds {
@@ -114,9 +117,36 @@ pub fn run_to_ring(net: &mut Network, max_rounds: u64) -> ConvergenceReport {
         }
         best = best.max(phase);
         note(phase, round, &mut report);
+        emit_new_milestones(net, &report, &mut announced);
     }
     report.rounds_run = round;
     report
+}
+
+/// Emits a `Transition` timeline event for every milestone the report
+/// reached that has not been announced yet (no-op without a sink). Event
+/// labels: `"lcc"`, `"list"`, `"ring"`; rounds count from the start of
+/// the measurement loop.
+fn emit_new_milestones(net: &mut Network, report: &ConvergenceReport, announced: &mut [bool; 3]) {
+    if !net.has_sink() {
+        return;
+    }
+    let milestones = [
+        (report.rounds_to_lcc, "lcc"),
+        (report.rounds_to_list, "list"),
+        (report.rounds_to_ring, "ring"),
+    ];
+    for (k, (reached, label)) in milestones.iter().enumerate() {
+        if let Some(round) = reached {
+            if !announced[k] {
+                announced[k] = true;
+                net.emit(Event::Transition {
+                    round: *round,
+                    phase: (*label).to_string(),
+                });
+            }
+        }
+    }
 }
 
 #[cfg(test)]

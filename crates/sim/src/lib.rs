@@ -19,7 +19,9 @@
 //!   (Theorem 4.24);
 //! * [`parallel`] — multi-seed trial execution across threads;
 //! * [`persist`] — JSON checkpointing of global states;
-//! * [`slots`] — the dense id→slot index behind O(1) message routing.
+//! * [`slots`] — the dense id→slot index behind O(1) message routing;
+//! * [`obs`] — zero-overhead observability: pluggable sinks, sampled
+//!   phase timers, online histograms and convergence timeline events.
 //!
 //! ## Example
 //!
@@ -43,6 +45,7 @@ pub mod churn;
 pub mod convergence;
 pub mod init;
 pub mod network;
+pub mod obs;
 pub mod parallel;
 pub mod persist;
 pub mod slots;

@@ -12,6 +12,7 @@
 //! state and policy replay the exact same computation.
 
 use crate::channel::{Channel, DeliveryPolicy};
+use crate::obs::{Event, ObsState, Sink};
 use crate::slots::SlotIndex;
 use crate::trace::{RoundStats, Trace};
 use rand::rngs::StdRng;
@@ -48,6 +49,12 @@ pub struct Network {
     // while in use and put back afterwards.
     order_buf: Vec<usize>,
     inbox_buf: Vec<Message>,
+    // Observability: present iff a sink is attached (`attach_sink`).
+    // `step` dispatches on presence to a separate monomorphization of the
+    // round loop, so the unobserved network pays one pointer of space and
+    // one well-predicted branch per round — nothing in the loop body.
+    obs: Option<Box<ObsState>>,
+    seed: u64,
 }
 
 impl Network {
@@ -85,6 +92,59 @@ impl Network {
             order_dirty: true,
             order_buf: Vec::new(),
             inbox_buf: Vec::new(),
+            obs: None,
+            seed,
+        }
+    }
+
+    /// The seed this network was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Attaches an observation sink: subsequent rounds run the
+    /// instrumented loop, recording latency/depth/forget-age/lrl-length
+    /// histograms online and emitting a `Round` + `PhaseTimes` record
+    /// every `sample_every` rounds (clamped to ≥ 1). Emits a `RunMeta`
+    /// record immediately. Replaces (and drops) any previous sink.
+    ///
+    /// Observers read, never mutate, and consume no RNG: attaching a sink
+    /// changes nothing about the computation — state and trace stay
+    /// bit-for-bit identical (pinned by the golden-trace suite).
+    pub fn attach_sink(&mut self, sink: Box<dyn Sink>, sample_every: u64) {
+        let mut state = Box::new(ObsState::new(sink, sample_every));
+        state.emit(Event::RunMeta {
+            n: self.index.len(),
+            seed: self.seed,
+            policy: format!("{:?}", self.policy),
+            sample_every: state.sample_every,
+            round: self.round,
+        });
+        self.obs = Some(state);
+    }
+
+    /// Detaches the sink, emitting a final `Summary` record (run totals
+    /// plus the four histograms) and flushing. Returns the sink, or
+    /// `None` when nothing was attached.
+    pub fn detach_sink(&mut self) -> Option<Box<dyn Sink>> {
+        let mut state = self.obs.take()?;
+        let summary = state.summary(self.round, self.trace.total_sent());
+        state.emit(summary);
+        state.sink.flush();
+        Some(state.sink)
+    }
+
+    /// True when an observation sink is attached.
+    pub fn has_sink(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Emits an event to the attached sink, if any (no-op otherwise).
+    /// Used by the convergence and churn drivers for timeline events
+    /// (phase transitions, recovery spans).
+    pub fn emit(&mut self, event: Event) {
+        if let Some(o) = self.obs.as_mut() {
+            o.emit(event);
         }
     }
 
@@ -148,7 +208,16 @@ impl Network {
 
     /// Executes one round; returns its stats (also appended to the trace).
     pub fn step(&mut self) -> RoundStats {
-        self.step_impl(false)
+        // Dispatch to one of two monomorphizations: with no sink attached
+        // the `OBS = false` copy runs, in which every observer branch
+        // below is constant-folded away — it compiles to exactly the
+        // pre-observability round loop (guarded by the stepengine bench's
+        // instrumented-vs-noop pair).
+        if self.obs.is_some() {
+            self.step_impl::<true>(false)
+        } else {
+            self.step_impl::<false>(false)
+        }
     }
 
     /// The reference round with per-message outbox flushing — the
@@ -156,23 +225,37 @@ impl Network {
     /// proptest (see the `tests` module and DESIGN.md §8).
     #[cfg(test)]
     fn step_reference(&mut self) -> RoundStats {
-        self.step_impl(true)
+        self.step_impl::<false>(true)
     }
 
-    fn step_impl(&mut self, flush_per_message: bool) -> RoundStats {
+    fn step_impl<const OBS: bool>(&mut self, flush_per_message: bool) -> RoundStats {
         self.round += 1;
         let now = self.round;
         let mut stats = RoundStats::default();
 
-        if self.order_dirty {
-            self.sorted_slots.clear();
-            self.sorted_slots.extend(self.index.slots_by_id());
-            self.order_dirty = false;
-        }
+        // Phase timers run only on sampled rounds of an observed network;
+        // with OBS = false `sample` is constant false and every `timed`
+        // call folds to a plain call.
+        let sample = OBS
+            && self
+                .obs
+                .as_ref()
+                .is_some_and(|o| now.is_multiple_of(o.sample_every));
+        // Accumulators in phase order: shuffle, channel, deliver, flush,
+        // stats.
+        let mut ph = [0u64; 5];
+
         let mut order = std::mem::take(&mut self.order_buf);
-        order.clear();
-        order.extend_from_slice(&self.sorted_slots);
-        order.shuffle(&mut self.rng);
+        timed(sample, &mut ph[0], || {
+            if self.order_dirty {
+                self.sorted_slots.clear();
+                self.sorted_slots.extend(self.index.slots_by_id());
+                self.order_dirty = false;
+            }
+            order.clear();
+            order.extend_from_slice(&self.sorted_slots);
+            order.shuffle(&mut self.rng);
+        });
 
         let mut inbox = std::mem::take(&mut self.inbox_buf);
         for &i in &order {
@@ -190,37 +273,136 @@ impl Network {
             // in churn rounds and is itself a valid atomic-action
             // schedule; `flush_equivalence` in the tests below pins both
             // halves of this claim against the per-message reference.
-            self.channels[i].take_deliverable_into(now, self.policy, &mut self.rng, &mut inbox);
+            if OBS {
+                // Tagged take: identical delivery order and RNG stream
+                // (see `take_deliverable_tagged`), plus each message's
+                // enqueue round for the latency histogram and the
+                // channel-depth high-water mark read before draining.
+                let obs = self.obs.as_mut().expect("OBS implies observer state");
+                let depth = u64::try_from(self.channels[i].len()).unwrap_or(u64::MAX);
+                obs.depth_round_max = obs.depth_round_max.max(depth);
+                let mut tagged = std::mem::take(&mut obs.tagged);
+                timed(sample, &mut ph[1], || {
+                    self.channels[i].take_deliverable_tagged(
+                        now,
+                        self.policy,
+                        &mut self.rng,
+                        &mut tagged,
+                    );
+                });
+                inbox.clear();
+                let obs = self.obs.as_mut().expect("OBS implies observer state");
+                for &(m, enqueued) in &tagged {
+                    obs.latency.record(now.saturating_sub(enqueued));
+                    inbox.push(m);
+                }
+                tagged.clear();
+                obs.tagged = tagged;
+            } else {
+                self.channels[i].take_deliverable_into(now, self.policy, &mut self.rng, &mut inbox);
+            }
             if !inbox.is_empty() {
                 stats.links_changed = true;
             }
-            for &m in &inbox {
-                stats.count_delivered(m.kind());
-                let node = self.nodes[i].as_mut().expect("checked above");
-                node.on_message(m, &mut self.rng, &mut self.outbox);
-                if flush_per_message {
-                    self.flush_outbox(i, now, &mut stats);
+            timed(sample, &mut ph[2], || {
+                for &m in &inbox {
+                    stats.count_delivered(m.kind());
+                    let node = self.nodes[i].as_mut().expect("checked above");
+                    node.on_message(m, &mut self.rng, &mut self.outbox);
+                    if flush_per_message {
+                        self.flush_outbox::<OBS>(i, now, &mut stats);
+                    }
                 }
-            }
-            self.flush_outbox(i, now, &mut stats);
+            });
+            timed(sample, &mut ph[3], || {
+                self.flush_outbox::<OBS>(i, now, &mut stats);
+            });
             // Regular action. The handler can silently rewrite link state
             // (sanitation normalizes without emitting events), so compare
             // the link tuple around the call for the dirty flag.
-            let node = self.nodes[i].as_mut().expect("checked above");
+            let node = self.nodes[i].as_ref().expect("checked above");
             let links_before = (node.left(), node.right(), node.lrl(), node.ring());
-            node.on_regular(&mut self.outbox);
+            timed(sample, &mut ph[2], || {
+                let node = self.nodes[i].as_mut().expect("checked above");
+                node.on_regular(&mut self.outbox);
+            });
             let node = self.nodes[i].as_ref().expect("checked above");
             if (node.left(), node.right(), node.lrl(), node.ring()) != links_before {
                 stats.links_changed = true;
             }
-            self.flush_outbox(i, now, &mut stats);
+            timed(sample, &mut ph[3], || {
+                self.flush_outbox::<OBS>(i, now, &mut stats);
+            });
         }
         inbox.clear();
         self.inbox_buf = inbox;
         self.order_buf = order;
 
+        let t_stats = if sample {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         self.trace.push(stats);
+        if OBS {
+            self.observe_round_end(now, sample, &stats);
+        }
+        if let Some(t0) = t_stats {
+            ph[4] = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.emit(Event::PhaseTimes {
+                round: now,
+                shuffle_ns: ph[0],
+                channel_ns: ph[1],
+                deliver_ns: ph[2],
+                flush_ns: ph[3],
+                stats_ns: ph[4],
+            });
+        }
         stats
+    }
+
+    /// End-of-round observer bookkeeping (instrumented path only): the
+    /// depth high-water histogram every round, and on sampled rounds the
+    /// lrl-length scan plus the `Round` record. Reads state the loop
+    /// already computed; touches no RNG.
+    fn observe_round_end(&mut self, now: u64, sample: bool, stats: &RoundStats) {
+        let Some(obs) = self.obs.as_mut() else { return };
+        let depth_max = obs.depth_round_max;
+        obs.depth.record(depth_max);
+        obs.depth_round_max = 0;
+        if !sample {
+            return;
+        }
+        // lrl ring length: the circular rank distance from each node to
+        // its token endpoint, 0 when the token sits at its origin. The
+        // scan walks `sorted_slots` (ascending id order, rebuilt this
+        // round if dirty) and rank-resolves endpoints by binary search.
+        let mut scratch = std::mem::take(&mut obs.lrl_scratch);
+        scratch.clear();
+        for &slot in &self.sorted_slots {
+            if let Some(n) = &self.nodes[slot] {
+                scratch.push((n.id(), n.lrl()));
+            }
+        }
+        let n_live = scratch.len();
+        let obs = self.obs.as_mut().expect("present above");
+        for (rank_a, &(_, lrl)) in scratch.iter().enumerate() {
+            if let Ok(rank_b) = scratch.binary_search_by_key(&lrl, |&(id, _)| id) {
+                let d = rank_a.abs_diff(rank_b);
+                obs.lrl_len
+                    .record(u64::try_from(d.min(n_live - d)).unwrap_or(u64::MAX));
+            }
+        }
+        scratch.clear();
+        obs.lrl_scratch = scratch;
+        obs.emit(Event::Round {
+            round: now,
+            sent: stats.sent.to_vec(),
+            delivered: stats.total_delivered(),
+            dropped: stats.dropped,
+            bounced: stats.bounced,
+            depth_max,
+        });
     }
 
     /// Runs rounds until `pred` holds on a borrowed view of the state or
@@ -343,7 +525,7 @@ impl Network {
         }
     }
 
-    fn flush_outbox(&mut self, sender: usize, now: u64, stats: &mut RoundStats) {
+    fn flush_outbox<const OBS: bool>(&mut self, sender: usize, now: u64, stats: &mut RoundStats) {
         // Destructure to split the borrows: the send list stays borrowed
         // from the outbox while routing mutates channels/nodes — no
         // buffer swap, no copy of the sends.
@@ -354,10 +536,18 @@ impl Network {
             outbox,
             tracked,
             tracked_forwarders,
+            obs,
             ..
         } = self;
         for ev in outbox.drain_events() {
             stats.count_event(&ev);
+            if OBS {
+                if let swn_core::outbox::ProtocolEvent::LrlForgotten { age } = ev {
+                    if let Some(o) = obs.as_mut() {
+                        o.forget_age.record(age);
+                    }
+                }
+            }
         }
         for &(dest, msg) in outbox.sends() {
             stats.count_sent(msg.kind());
@@ -404,6 +594,22 @@ impl Network {
             }
         }
         outbox.clear();
+    }
+}
+
+/// Runs `f`, adding its wall-clock duration (nanoseconds, saturating) to
+/// `acc` when `on` — the sampled phase timer of `step_impl`. With `on`
+/// constant false (the `OBS = false` monomorphization) this inlines to a
+/// plain call.
+#[inline]
+fn timed<T>(on: bool, acc: &mut u64, f: impl FnOnce() -> T) -> T {
+    if on {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        *acc = acc.saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        r
+    } else {
+        f()
     }
 }
 
@@ -761,6 +967,137 @@ mod tests {
             };
             prop_assert_eq!(structure(&batched), structure(&reference));
         }
+    }
+
+    #[test]
+    fn attached_sink_never_perturbs_the_computation() {
+        // The determinism contract of the observability layer: a network
+        // observed at the maximal sampling rate computes bit-for-bit the
+        // same states, trace and RNG stream as an unobserved one.
+        let run = |observe: bool| {
+            let ids = evenly_spaced_ids(12);
+            let mut net = generate(
+                InitialTopology::RandomSparse { extra: 2 },
+                &ids,
+                ProtocolConfig::default(),
+                9,
+            )
+            .into_network(9);
+            if observe {
+                let (sink, _records) = crate::obs::MemorySink::new();
+                net.attach_sink(Box::new(sink), 1);
+            }
+            net.run(40);
+            // Churn keeps the general (non-fast-path) channel code and
+            // the bounce/drop routing in play.
+            let victim = net.ids()[5];
+            net.remove_node(victim);
+            net.run(40);
+            fingerprint(&net)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn sink_receives_meta_rounds_phases_and_summary() {
+        use crate::obs::{Event, MemorySink};
+        let mut net = stable_net(8, 4);
+        let (sink, records) = MemorySink::new();
+        net.attach_sink(Box::new(sink), 4);
+        assert!(net.has_sink());
+        net.run(12);
+        assert!(net.detach_sink().is_some());
+        assert!(!net.has_sink());
+        assert!(net.detach_sink().is_none(), "second detach is a no-op");
+        let recs = records.lock().unwrap();
+        assert!(
+            recs.iter().all(|r| r.v == crate::obs::SCHEMA_VERSION),
+            "every record is schema-tagged"
+        );
+        let meta = recs.first().expect("records present");
+        assert!(
+            matches!(meta.event, Event::RunMeta { n: 8, seed: 4, .. }),
+            "first record is RunMeta: {meta:?}"
+        );
+        // sample_every = 4 over rounds 1..=12 → rounds 4, 8, 12 sampled.
+        let rounds: Vec<u64> = recs
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::Round { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rounds, vec![4, 8, 12]);
+        let timed: Vec<u64> = recs
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::PhaseTimes { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(timed, vec![4, 8, 12]);
+        match &recs.last().expect("records present").event {
+            Event::Summary {
+                rounds,
+                total_sent,
+                latency,
+                depth,
+                lrl_len,
+                ..
+            } => {
+                assert_eq!(*rounds, 12);
+                assert_eq!(*total_sent, net.trace().total_sent());
+                // Immediate policy: every message delivered in the next
+                // round, latency exactly 1; depth high-waters observed
+                // every round; lrl lengths sampled on sampled rounds.
+                assert_eq!(latency.count(), net.trace().total_delivered());
+                assert_eq!(latency.max(), 1);
+                assert_eq!(depth.count(), 12);
+                assert!(depth.max() >= 1);
+                assert_eq!(lrl_len.count(), 3 * 8, "8 nodes per sampled round");
+            }
+            other => panic!("last record must be Summary, got {other:?}"),
+        }
+        // Emitting without a sink is a silent no-op.
+        net.emit(Event::Transition {
+            round: 1,
+            phase: "lcc".to_string(),
+        });
+    }
+
+    #[test]
+    fn forget_ages_reach_the_observer_histogram() {
+        use crate::obs::{Event, MemorySink};
+        // A warmed stable ring keeps moving and forgetting its tokens, so
+        // a long observed window must see forget events, and the
+        // histogram must agree with the trace counters over that window.
+        let mut net = stable_net(16, 11);
+        net.run(50);
+        let start = net.trace().len();
+        let (sink, records) = MemorySink::new();
+        net.attach_sink(Box::new(sink), 64);
+        net.run(400);
+        net.detach_sink();
+        let forgets: u64 = net.trace().rounds()[start..]
+            .iter()
+            .map(|r| r.lrl_forgets)
+            .sum();
+        assert!(forgets > 0, "no forget events in 400 stable rounds");
+        let recs = records.lock().unwrap();
+        let forget_hist = recs
+            .iter()
+            .find_map(|r| match &r.event {
+                Event::Summary { forget_age, .. } => Some(forget_age.clone()),
+                _ => None,
+            })
+            .expect("summary present");
+        assert_eq!(forget_hist.count(), forgets);
+        let (mean, max) = net
+            .trace()
+            .forget_age_stats_in(start..net.trace().len())
+            .expect("forgets observed");
+        assert_eq!(forget_hist.max(), max);
+        assert!((forget_hist.mean() - mean).abs() < 1e-9);
     }
 
     #[test]

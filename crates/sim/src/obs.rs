@@ -1,0 +1,631 @@
+//! Observability: pluggable sinks, phase timers and online histograms.
+//!
+//! The simulator's hot loop promises two things that are usually in
+//! tension: it is fast (PR 3's dense-handle engine), and it is
+//! *explainable* — the paper's theorems are statements about
+//! distributions over time (convergence phases, the 1-harmonic
+//! lrl-length law, recovery spans), so a run must be able to report
+//! where rounds go and how those distributions evolve. This module
+//! resolves the tension with a strictly read-only observer layer:
+//!
+//! * a [`Sink`] trait receiving schema-versioned [`Record`]s, with a
+//!   [`JsonlSink`] that streams them as JSON lines and a [`MemorySink`]
+//!   for tests;
+//! * online, mergeable fixed-bucket [`Histogram`]s (message latency in
+//!   rounds, channel depth high-water marks, lrl age at forget, lrl
+//!   ring length);
+//! * sampled phase timers inside `Network::step` (activation shuffle,
+//!   channel cycle, handler execution, outbox flush, stats accounting).
+//!
+//! **The disabled path is free.** `Network::step` is monomorphized over
+//! a `const OBS: bool`: with no sink attached the `OBS = false` copy
+//! runs, in which every observer branch is constant-folded away — it
+//! compiles to exactly the pre-observability round loop (the stepengine
+//! bench's instrumented-vs-noop pair guards this).
+//!
+//! **Observers read, never mutate, and consume no RNG.** Events are
+//! derived from state the loop already computes; the tagged channel
+//! take ([`Channel::take_deliverable_tagged`]) consumes the identical
+//! RNG stream as the untagged one; wall-clock readings appear only in
+//! timing payloads. The golden-trace suite pins both halves: state
+//! digests are bit-for-bit identical with a sink attached, and the
+//! structural event stream itself is fingerprinted.
+//!
+//! [`Channel::take_deliverable_tagged`]: crate::channel::Channel::take_deliverable_tagged
+
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Version tag stamped on every emitted [`Record`]. Bumped on any
+/// breaking change to the [`Event`] layout; readers reject unknown
+/// versions instead of guessing.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `2^32 - 1` (everything larger lands in the last bucket).
+pub const HIST_BUCKETS: usize = 33;
+
+/// An online, mergeable, fixed-bucket histogram over `u64` samples.
+///
+/// Buckets are base-2 exponential: bucket 0 holds the value `0`,
+/// bucket `b >= 1` holds `[2^(b-1), 2^b - 1]`, and the last bucket is
+/// open-ended. The layout is fixed, so two histograms (e.g. from
+/// parallel trials or trace shards) merge by element-wise addition —
+/// merging is associative and commutative, which the property tests
+/// pin.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            return 0;
+        }
+        let b = usize::try_from(64 - v.leading_zeros()).expect("bit index fits usize");
+        b.min(HIST_BUCKETS - 1)
+    }
+
+    /// The inclusive `[lo, hi]` value range of bucket `b` (the last
+    /// bucket's `hi` is `u64::MAX`).
+    pub fn bucket_bounds(b: usize) -> (u64, u64) {
+        assert!(b < HIST_BUCKETS, "bucket index out of range");
+        if b == 0 {
+            (0, 0)
+        } else if b == HIST_BUCKETS - 1 {
+            (1 << (b - 1), u64::MAX)
+        } else {
+            (1 << (b - 1), (1 << b) - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges `other` into `self` (element-wise bucket addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Upper bound of the first bucket whose cumulative count reaches
+    /// the `q`-quantile (`0.0..=1.0`) — a coarse quantile, exact up to
+    /// bucket resolution. Returns 0 for an empty histogram.
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        #[allow(clippy::cast_possible_truncation)]
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bucket_bounds(b).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// True when the fixed-layout invariants hold (bucket vector length
+    /// and count consistency) — used when accepting deserialized data.
+    pub fn is_well_formed(&self) -> bool {
+        self.buckets.len() == HIST_BUCKETS && self.buckets.iter().sum::<u64>() == self.count
+    }
+}
+
+/// One observation from a simulation run. Externally tagged in JSON
+/// (`{"Round": {...}}`), wrapped in a [`Record`] carrying the schema
+/// version.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Emitted once when a sink is attached: run identity.
+    RunMeta {
+        /// Live node count at attach time.
+        n: usize,
+        /// The seed the network was built with.
+        seed: u64,
+        /// Debug rendering of the delivery policy.
+        policy: String,
+        /// Sampling interval for `Round`/`PhaseTimes` records.
+        sample_every: u64,
+        /// Round counter at attach time (non-zero when attached mid-run).
+        round: u64,
+    },
+    /// Per-round counters, emitted every `sample_every` rounds.
+    Round {
+        /// The round these counters describe.
+        round: u64,
+        /// Messages sent this round, by kind index
+        /// (`MessageKind::index` order).
+        sent: Vec<u64>,
+        /// Total messages delivered this round.
+        delivered: u64,
+        /// Messages dropped (destination departed, payload safe).
+        dropped: u64,
+        /// Messages bounced back to their sender.
+        bounced: u64,
+        /// Channel depth high-water mark across all nodes this round.
+        depth_max: u64,
+    },
+    /// Sampled wall-clock phase breakdown of one `Network::step`.
+    /// Durations are nanoseconds summed over the round; they are
+    /// *payload only* — golden fingerprints hash the round, not the
+    /// clock readings.
+    PhaseTimes {
+        /// The round that was timed.
+        round: u64,
+        /// Activation-order rebuild + shuffle.
+        shuffle_ns: u64,
+        /// Channel cycle: `take_deliverable` across all nodes.
+        channel_ns: u64,
+        /// Protocol handler execution (receive + regular actions).
+        deliver_ns: u64,
+        /// Outbox flushing (routing, bounce/drop handling).
+        flush_ns: u64,
+        /// Stats accounting: trace push + observer bookkeeping.
+        stats_ns: u64,
+    },
+    /// A convergence phase milestone was reached (emitted by
+    /// `run_to_ring`): `phase` is `"lcc"`, `"list"` or `"ring"`.
+    Transition {
+        /// Rounds from the start of the measurement loop.
+        round: u64,
+        /// Milestone label.
+        phase: String,
+    },
+    /// A bracketed span of rounds (join/leave recovery, Theorem 4.24).
+    Span {
+        /// Span label, e.g. `"join"` or `"leave"`.
+        label: String,
+        /// Absolute round the span started at.
+        start: u64,
+        /// Absolute round the span ended at.
+        end: u64,
+    },
+    /// Emitted when the sink is detached: run totals and the four
+    /// online histograms.
+    Summary {
+        /// Total rounds executed.
+        rounds: u64,
+        /// Total messages sent over the run.
+        total_sent: u64,
+        /// Message latency in rounds (enqueue → deliver).
+        latency: Histogram,
+        /// Per-round channel depth high-water marks.
+        depth: Histogram,
+        /// lrl link age at forget events.
+        forget_age: Histogram,
+        /// lrl ring length (rank distance), sampled every
+        /// `sample_every` rounds.
+        lrl_len: Histogram,
+    },
+}
+
+/// A schema-versioned envelope around an [`Event`] — the unit a
+/// [`Sink`] receives and a JSONL trace stores per line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Schema version ([`SCHEMA_VERSION`] on emission).
+    pub v: u32,
+    /// The observation.
+    pub event: Event,
+}
+
+impl Record {
+    /// Wraps an event with the current schema version.
+    pub fn new(event: Event) -> Self {
+        Record {
+            v: SCHEMA_VERSION,
+            event,
+        }
+    }
+}
+
+/// Parses one JSONL line into a [`Record`], rejecting unknown schema
+/// versions *before* interpreting the event payload.
+pub fn parse_record(line: &str) -> Result<Record, String> {
+    let value: serde::Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    let fields = serde::helpers::as_map(&value, "Record").map_err(|e| e.to_string())?;
+    let v = fields
+        .iter()
+        .find(|(k, _)| k == "v")
+        .ok_or_else(|| "record missing schema version field `v`".to_string())?;
+    let version = u32::from_value(&v.1).map_err(|e| e.to_string())?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+        ));
+    }
+    Record::from_value(&value).map_err(|e| e.to_string())
+}
+
+/// A consumer of observation [`Record`]s.
+///
+/// Sinks are strictly passive: the simulator hands them finished
+/// records and never reads anything back, so a sink cannot perturb the
+/// computation it observes. `Send` because networks (and therefore
+/// their sinks) may be driven from worker threads.
+pub trait Sink: Send {
+    /// Consumes one record.
+    fn record(&mut self, rec: &Record);
+    /// Flushes any buffering (called on detach).
+    fn flush(&mut self) {}
+}
+
+/// The do-nothing sink. Attaching it still routes `step` through the
+/// instrumented monomorphization (events are built, then discarded
+/// here); the *guaranteed-free* spelling is attaching no sink at all,
+/// which selects the `OBS = false` copy of the round loop that
+/// compiles to the pre-observability code. `NoopSink` exists for
+/// generic call sites that must hand over *some* sink.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&mut self, _rec: &Record) {}
+}
+
+/// Streams records as JSON lines (one [`Record`] per line) into any
+/// writer, buffered.
+pub struct JsonlSink {
+    out: std::io::BufWriter<Box<dyn std::io::Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// A sink over an arbitrary writer.
+    pub fn new(writer: Box<dyn std::io::Write + Send>) -> Self {
+        JsonlSink {
+            out: std::io::BufWriter::new(writer),
+        }
+    }
+
+    /// Creates (truncating) `path` and streams records into it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self::new(Box::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, rec: &Record) {
+        let line = serde_json::to_string(rec).expect("record serialization cannot fail");
+        writeln!(self.out, "{line}").expect("trace sink write failed");
+    }
+
+    fn flush(&mut self) {
+        self.out.flush().expect("trace sink flush failed");
+    }
+}
+
+/// Collects records in memory behind a shared handle — the test sink.
+#[derive(Debug)]
+pub struct MemorySink {
+    records: Arc<Mutex<Vec<Record>>>,
+}
+
+impl MemorySink {
+    /// A new sink plus the handle its records stay reachable through
+    /// after the sink is attached (and consumed) by a network.
+    pub fn new() -> (Self, Arc<Mutex<Vec<Record>>>) {
+        let records = Arc::new(Mutex::new(Vec::new()));
+        (
+            MemorySink {
+                records: Arc::clone(&records),
+            },
+            records,
+        )
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, rec: &Record) {
+        self.records
+            .lock()
+            .expect("memory sink poisoned")
+            .push(rec.clone());
+    }
+}
+
+/// Live observer state owned by an instrumented network: the sink plus
+/// the four online histograms and per-round scratch. Private to the
+/// crate — `Network` is the only driver.
+pub(crate) struct ObsState {
+    pub(crate) sink: Box<dyn Sink>,
+    pub(crate) sample_every: u64,
+    pub(crate) latency: Histogram,
+    pub(crate) depth: Histogram,
+    pub(crate) forget_age: Histogram,
+    pub(crate) lrl_len: Histogram,
+    /// High-water channel depth seen so far in the current round.
+    pub(crate) depth_round_max: u64,
+    /// Scratch for the tagged channel take: (message, enqueue round).
+    pub(crate) tagged: Vec<(swn_core::message::Message, u64)>,
+    /// Scratch for the sampled lrl-length scan: (id, lrl) ascending.
+    pub(crate) lrl_scratch: Vec<(swn_core::id::NodeId, swn_core::id::NodeId)>,
+}
+
+impl std::fmt::Debug for ObsState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsState")
+            .field("sample_every", &self.sample_every)
+            .field("latency", &self.latency.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ObsState {
+    pub(crate) fn new(sink: Box<dyn Sink>, sample_every: u64) -> Self {
+        ObsState {
+            sink,
+            sample_every: sample_every.max(1),
+            latency: Histogram::new(),
+            depth: Histogram::new(),
+            forget_age: Histogram::new(),
+            lrl_len: Histogram::new(),
+            depth_round_max: 0,
+            tagged: Vec::new(),
+            lrl_scratch: Vec::new(),
+        }
+    }
+
+    /// Wraps `ev` in a versioned [`Record`] and hands it to the sink.
+    pub(crate) fn emit(&mut self, ev: Event) {
+        self.sink.record(&Record::new(ev));
+    }
+
+    /// The end-of-run summary event (histograms cloned out).
+    pub(crate) fn summary(&self, rounds: u64, total_sent: u64) -> Event {
+        Event::Summary {
+            rounds,
+            total_sent,
+            latency: self.latency.clone(),
+            depth: self.depth.clone(),
+            forget_age: self.forget_age.clone(),
+            lrl_len: self.lrl_len.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // 0 is its own bucket; 2^k opens bucket k+1; 2^k − 1 closes
+        // bucket k.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        for k in 1..31 {
+            let lo = 1u64 << k;
+            assert_eq!(Histogram::bucket_index(lo), k + 1, "2^{k} opens bucket");
+            assert_eq!(Histogram::bucket_index(lo - 1), k, "2^{k}-1 closes bucket");
+            let (blo, bhi) = Histogram::bucket_bounds(k + 1);
+            assert_eq!(blo, lo);
+            if k + 1 < HIST_BUCKETS - 1 {
+                assert_eq!(bhi, (lo << 1) - 1);
+            }
+        }
+        // Everything at and beyond 2^32 collapses into the last bucket.
+        assert_eq!(Histogram::bucket_index(1 << 32), HIST_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_summarizes() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert!(h.mean().is_nan());
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.2).abs() < 1e-9);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 2);
+        assert!(h.is_well_formed());
+    }
+
+    #[test]
+    fn approx_quantile_walks_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.approx_quantile(0.5), 1);
+        // p99 lands in 1000's bucket; the coarse answer is capped at max.
+        assert_eq!(h.approx_quantile(0.99), 1000);
+        assert_eq!(Histogram::new().approx_quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative_on_fixed_samples() {
+        let build = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = build(&[0, 5, 17]);
+        let b = build(&[1, 1, 1, 900]);
+        let c = build(&[u64::MAX, 3]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must commute");
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge must associate");
+        // And merging equals recording the concatenation.
+        assert_eq!(ab_c, build(&[0, 5, 17, 1, 1, 1, 900, u64::MAX, 3]));
+    }
+
+    #[test]
+    fn record_round_trips_through_jsonl() {
+        let rec = Record::new(Event::Round {
+            round: 17,
+            sent: vec![4, 0, 1, 0, 0, 2, 2],
+            delivered: 9,
+            dropped: 1,
+            bounced: 0,
+            depth_max: 12,
+        });
+        let line = serde_json::to_string(&rec).expect("serialize");
+        let back = parse_record(&line).expect("round trip");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let rec = Record {
+            v: SCHEMA_VERSION + 1,
+            event: Event::Transition {
+                round: 3,
+                phase: "lcc".to_string(),
+            },
+        };
+        let line = serde_json::to_string(&rec).expect("serialize");
+        let err = parse_record(&line).unwrap_err();
+        assert!(err.contains("unsupported schema_version"), "got: {err}");
+        assert!(parse_record("not json").is_err());
+        assert!(parse_record("42").is_err(), "non-map record rejected");
+        assert!(
+            parse_record("{\"event\":{}}")
+                .unwrap_err()
+                .contains("missing schema version"),
+            "missing v rejected"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        // Write through a shared buffer we can inspect afterwards.
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buffer").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut sink = JsonlSink::new(Box::new(Shared(Arc::clone(&buf))));
+        sink.record(&Record::new(Event::Transition {
+            round: 1,
+            phase: "lcc".to_string(),
+        }));
+        sink.record(&Record::new(Event::Transition {
+            round: 2,
+            phase: "list".to_string(),
+        }));
+        Sink::flush(&mut sink);
+        let text = String::from_utf8(buf.lock().expect("buffer").clone()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            parse_record(line).expect("every line parses");
+        }
+    }
+
+    #[test]
+    fn memory_sink_shares_its_records() {
+        let (mut sink, records) = MemorySink::new();
+        sink.record(&Record::new(Event::Span {
+            label: "join".to_string(),
+            start: 5,
+            end: 9,
+        }));
+        assert_eq!(records.lock().expect("records").len(), 1);
+    }
+}

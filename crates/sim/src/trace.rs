@@ -183,6 +183,68 @@ impl Trace {
             .map(RoundStats::total_sent)
             .sum()
     }
+
+    /// Total messages delivered over the whole run.
+    pub fn total_delivered(&self) -> u64 {
+        self.rounds.iter().map(RoundStats::total_delivered).sum()
+    }
+
+    /// Messages sent from round index `start` (0-based into
+    /// [`Trace::rounds`]) to the end — the windowed sum the ablations
+    /// and golden-trace code used to recompute by hand. A `start` past
+    /// the end yields 0.
+    pub fn sent_since(&self, start: usize) -> u64 {
+        self.rounds
+            .get(start.min(self.rounds.len())..)
+            .map_or(0, |w| w.iter().map(RoundStats::total_sent).sum())
+    }
+
+    /// Messages sent by kind over the round-index window `range`
+    /// (clamped to the recorded rounds).
+    pub fn sent_by_kind_in(&self, range: std::ops::Range<usize>) -> [u64; MessageKind::COUNT] {
+        let lo = range.start.min(self.rounds.len());
+        let hi = range.end.min(self.rounds.len());
+        let mut out = [0u64; MessageKind::COUNT];
+        for r in &self.rounds[lo..hi.max(lo)] {
+            for (acc, &sent) in out.iter_mut().zip(&r.sent) {
+                *acc += sent;
+            }
+        }
+        out
+    }
+
+    /// The cumulative sent series for one kind: element `r` is the total
+    /// number of `kind` messages sent in rounds `0..=r`. Cumulative
+    /// series from consecutive runs merge by offsetting with the last
+    /// element — the report's message-mix-over-time view is built from
+    /// these.
+    pub fn cumulative_sent_of(&self, kind: MessageKind) -> Vec<u64> {
+        let mut acc = 0;
+        self.rounds
+            .iter()
+            .map(|r| {
+                acc += r.sent[kind.index()];
+                acc
+            })
+            .collect()
+    }
+
+    /// Mean and max lrl age at forget over the round-index window
+    /// `range` (clamped), or `None` when the window saw no forget
+    /// events.
+    pub fn forget_age_stats_in(&self, range: std::ops::Range<usize>) -> Option<(f64, u64)> {
+        let lo = range.start.min(self.rounds.len());
+        let hi = range.end.min(self.rounds.len());
+        let w = &self.rounds[lo..hi.max(lo)];
+        let forgets: u64 = w.iter().map(|r| r.lrl_forgets).sum();
+        if forgets == 0 {
+            return None;
+        }
+        let sum: u64 = w.iter().map(|r| r.forget_age_sum).sum();
+        let max = w.iter().map(|r| r.forget_age_max).max().unwrap_or(0);
+        #[allow(clippy::cast_precision_loss)]
+        Some((sum as f64 / forgets as f64, max))
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +312,45 @@ mod tests {
         assert_eq!(t.last_probe_repair_round(), Some(0));
         assert_eq!(t.sent_in_last(1), 2);
         assert_eq!(t.sent_in_last(10), 3);
+    }
+
+    #[test]
+    fn windowed_and_cumulative_accessors() {
+        let mut t = Trace::new();
+        for k in 0..4u64 {
+            let mut r = RoundStats::default();
+            r.sent[MessageKind::Lin.index()] = k + 1; // 1, 2, 3, 4
+            r.sent[MessageKind::Ring.index()] = 1;
+            r.lrl_forgets = u64::from(k >= 2);
+            r.forget_age_sum = if k >= 2 { 6 * (k - 1) } else { 0 }; // 6, 12
+            r.forget_age_max = if k >= 2 { 6 * (k - 1) } else { 0 };
+            t.push(r);
+        }
+        // sent_since equals the hand-rolled suffix sum it replaces.
+        assert_eq!(t.sent_since(0), t.total_sent());
+        assert_eq!(t.sent_since(2), (3 + 1) + (4 + 1));
+        assert_eq!(t.sent_since(99), 0, "out-of-range start is empty");
+        // Per-kind window, clamped.
+        let w = t.sent_by_kind_in(1..3);
+        assert_eq!(w[MessageKind::Lin.index()], 2 + 3);
+        assert_eq!(w[MessageKind::Ring.index()], 2);
+        assert_eq!(t.sent_by_kind_in(3..99)[MessageKind::Lin.index()], 4);
+        // A reversed range is exactly the degenerate input the clamp
+        // must turn into an empty window.
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 5..2;
+        assert_eq!(t.sent_by_kind_in(reversed), [0; MessageKind::COUNT]);
+        // Cumulative series is a running sum ending at the kind total.
+        let cum = t.cumulative_sent_of(MessageKind::Lin);
+        assert_eq!(cum, vec![1, 3, 6, 10]);
+        assert_eq!(*cum.last().unwrap(), t.total_sent_of(MessageKind::Lin));
+        // Forget-age stats over windows with and without events.
+        assert_eq!(t.forget_age_stats_in(0..2), None);
+        let (mean, max) = t.forget_age_stats_in(0..4).unwrap();
+        assert!((mean - 9.0).abs() < 1e-9, "mean {mean}");
+        assert_eq!(max, 12);
+        // Delivered totals.
+        assert_eq!(t.total_delivered(), 0);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use swn_core::config::ProtocolConfig;
 use swn_core::id::{evenly_spaced_ids, Extended};
 use swn_sim::convergence::run_to_ring;
 use swn_sim::init::{generate, InitialTopology};
-use swn_sim::trace::RoundStats;
+use swn_sim::obs::{Event, MemorySink, Record};
 use swn_sim::Network;
 
 /// How many leading rounds get their (sent, delivered) pair recorded.
@@ -99,15 +99,18 @@ fn state_digest(net: &Network) -> u64 {
 }
 
 fn trace_totals(net: &Network) -> (u64, u64, Vec<(u64, u64)>) {
-    let rounds = net.trace().rounds();
-    let sent = rounds.iter().map(RoundStats::total_sent).sum();
-    let delivered = rounds.iter().map(RoundStats::total_delivered).sum();
-    let prefix = rounds
+    let prefix = net
+        .trace()
+        .rounds()
         .iter()
         .take(ROUND_PREFIX)
         .map(|r| (r.total_sent(), r.total_delivered()))
         .collect();
-    (sent, delivered, prefix)
+    (
+        net.trace().total_sent(),
+        net.trace().total_delivered(),
+        prefix,
+    )
 }
 
 fn convergence_scenario(family: InitialTopology, n: usize, seed: u64) -> ScenarioSig {
@@ -174,6 +177,201 @@ fn fixture_path() -> std::path::PathBuf {
         .join("tests")
         .join("golden")
         .join("roundloop_golden.json")
+}
+
+/// Signature of the observation event stream for one scenario: record
+/// count, the convergence timeline, and a structural digest over every
+/// event. Wall-clock payloads (`PhaseTimes` durations) are *excluded*
+/// from the digest — only their round numbers are hashed — so the
+/// signature is deterministic while still pinning that sampling fires on
+/// exactly the same rounds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ObsSig {
+    label: String,
+    records: usize,
+    transitions: Vec<(String, u64)>,
+    event_digest: u64,
+}
+
+fn push_str(d: &mut Digest, s: &str) {
+    d.push(s.len() as u64);
+    for b in s.bytes() {
+        d.push(u64::from(b));
+    }
+}
+
+fn push_hist(d: &mut Digest, h: &swn_sim::obs::Histogram) {
+    d.push(h.count());
+    d.push(h.sum());
+    d.push(h.max());
+    for &b in h.buckets() {
+        d.push(b);
+    }
+}
+
+fn event_digest(records: &[Record]) -> u64 {
+    let mut d = Digest::new();
+    for rec in records {
+        d.push(u64::from(rec.v));
+        match &rec.event {
+            Event::RunMeta {
+                n,
+                seed,
+                policy,
+                sample_every,
+                round,
+            } => {
+                d.push(1);
+                d.push(*n as u64);
+                d.push(*seed);
+                push_str(&mut d, policy);
+                d.push(*sample_every);
+                d.push(*round);
+            }
+            Event::Round {
+                round,
+                sent,
+                delivered,
+                dropped,
+                bounced,
+                depth_max,
+            } => {
+                d.push(2);
+                d.push(*round);
+                for &s in sent {
+                    d.push(s);
+                }
+                d.push(*delivered);
+                d.push(*dropped);
+                d.push(*bounced);
+                d.push(*depth_max);
+            }
+            // Durations are wall clock — nondeterministic by nature.
+            // Only the fact that this round was sampled is pinned.
+            Event::PhaseTimes { round, .. } => {
+                d.push(3);
+                d.push(*round);
+            }
+            Event::Transition { round, phase } => {
+                d.push(4);
+                d.push(*round);
+                push_str(&mut d, phase);
+            }
+            Event::Span { label, start, end } => {
+                d.push(5);
+                push_str(&mut d, label);
+                d.push(*start);
+                d.push(*end);
+            }
+            Event::Summary {
+                rounds,
+                total_sent,
+                latency,
+                depth,
+                forget_age,
+                lrl_len,
+            } => {
+                d.push(6);
+                d.push(*rounds);
+                d.push(*total_sent);
+                push_hist(&mut d, latency);
+                push_hist(&mut d, depth);
+                push_hist(&mut d, forget_age);
+                push_hist(&mut d, lrl_len);
+            }
+        }
+    }
+    d.0
+}
+
+/// The first convergence scenario re-run with a sink attached (sampling
+/// every 8 rounds). Returns the scenario signature — which must equal
+/// the *unobserved* run's bit for bit — plus the event-stream signature.
+fn observed_scenario() -> (ScenarioSig, ObsSig) {
+    let family = InitialTopology::RandomSparse { extra: 3 };
+    let (n, seed) = (24, 4);
+    let ids = evenly_spaced_ids(n);
+    let mut net = generate(family, &ids, ProtocolConfig::default(), seed).into_network(seed);
+    let (sink, records) = MemorySink::new();
+    net.attach_sink(Box::new(sink), 8);
+    let rep = run_to_ring(&mut net, 100_000);
+    net.detach_sink();
+    let (total_sent, total_delivered, round_prefix) = trace_totals(&net);
+    let sig = ScenarioSig {
+        label: format!("{}/n{}/s{}", family.label(), n, seed),
+        rounds_to_lcc: rep.rounds_to_lcc,
+        rounds_to_list: rep.rounds_to_list,
+        rounds_to_ring: rep.rounds_to_ring,
+        messages_to_ring: rep.messages_to_ring,
+        monotone: rep.monotone,
+        rounds_run: rep.rounds_run,
+        total_sent,
+        total_delivered,
+        round_prefix,
+        state_digest: state_digest(&net),
+    };
+    let records = records.lock().expect("records");
+    let transitions = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            Event::Transition { round, phase } => Some((phase.clone(), *round)),
+            _ => None,
+        })
+        .collect();
+    let obs = ObsSig {
+        label: sig.label.clone(),
+        records: records.len(),
+        transitions,
+        event_digest: event_digest(&records),
+    };
+    (sig, obs)
+}
+
+fn obs_fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("obs_events_golden.json")
+}
+
+/// Pins the two halves of the observability determinism contract:
+/// 1. An observed run is bit-for-bit the run the *unobserved* golden
+///    fixture records — instrumentation consumes no RNG and never
+///    perturbs the round loop.
+/// 2. The emitted event stream itself is golden: same records, same
+///    sampled rounds, same timeline, same histograms, every run.
+#[test]
+fn instrumented_run_matches_golden_and_event_stream_is_golden() {
+    let (sig, obs) = observed_scenario();
+    let path = obs_fixture_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let json = serde_json::to_string(&obs).expect("serialize obs fixture");
+        std::fs::create_dir_all(path.parent().expect("fixture has a parent dir"))
+            .expect("create golden dir");
+        std::fs::write(&path, json).expect("write obs fixture");
+        eprintln!("obs-events fixture regenerated at {}", path.display());
+        return;
+    }
+    // Half 1: against the *unobserved* round-loop fixture.
+    let json = std::fs::read_to_string(fixture_path()).expect("round-loop fixture present");
+    let expected: Vec<ScenarioSig> = serde_json::from_str(&json).expect("parse golden fixture");
+    let unobserved = expected
+        .iter()
+        .find(|s| s.label == sig.label)
+        .expect("observed scenario is part of the golden set");
+    assert_eq!(
+        unobserved, &sig,
+        "attaching a sink changed the computation: observers must read, \
+         never mutate, and consume no RNG"
+    );
+    // Half 2: the event stream against its own fixture.
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing obs fixture {}: {e}", path.display()));
+    let expected: ObsSig = serde_json::from_str(&json).expect("parse obs fixture");
+    assert_eq!(
+        expected, obs,
+        "the emitted observation event stream diverged from the recorded one"
+    );
 }
 
 #[test]
