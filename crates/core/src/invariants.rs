@@ -108,6 +108,19 @@ pub fn weakly_connected(s: &Snapshot, view: View) -> bool {
     weakly_connected_view(&s.as_view(), view)
 }
 
+/// A weak-component label for every node rank under `view` (edge
+/// directions ignored): two ranks share a label iff they are weakly
+/// connected. Labels are union-find roots — stable within one call,
+/// not across calls. The fault watchdog uses this to locate which side
+/// of a permanent disconnection a dropped payload belonged to.
+pub fn component_labels_view(v: &NetView<'_>, view: View) -> Vec<usize> {
+    let mut uf = UnionFind::new(v.len());
+    v.for_each_edge(view, |a, b| {
+        uf.union(a, b);
+    });
+    (0..v.len()).map(|i| uf.find(i)).collect()
+}
+
 /// Definition 4.8: LCP solves the **sorted-list problem** — consecutive
 /// nodes (by id) point at each other, extremal nodes carry the `±∞`
 /// sentinels, and no other `l`/`r` links exist. The view is already in

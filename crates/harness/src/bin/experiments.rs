@@ -7,7 +7,7 @@
 //! experiments list
 //! ```
 //!
-//! Ids: e1 e2 e3 e4 e5 e6 e7 e8 e9 a1 a2 a3. `--quick` switches every
+//! Ids: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 a2 a3. `--quick` switches every
 //! experiment to its reduced-scale preset (used by CI smoke runs); the
 //! default is the full scale reported in EXPERIMENTS.md.
 //!
@@ -20,8 +20,8 @@ use std::time::Instant;
 use swn_harness::table::Table;
 use swn_harness::*;
 
-const ALL_IDS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "x1",
+const ALL_IDS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3", "x1",
 ];
 
 fn describe(id: &str) -> &'static str {
@@ -35,6 +35,7 @@ fn describe(id: &str) -> &'static str {
         "e7" => "robustness: failures and attacks (Sec I / IV.G)",
         "e8" => "Watts-Strogatz interpolation figure ([24])",
         "e9" => "stable-state overhead and forget horizon (Sec IV.F)",
+        "e10" => "self-stabilization under sustained faults (fault engine + watchdog)",
         "a1" => "ablation: lrl shortcuts in linearization",
         "a2" => "ablation: forget exponent eps",
         "a3" => "ablation: probing cadence",
@@ -116,6 +117,14 @@ fn run_one(id: &str, quick: bool) -> Vec<Table> {
                 e9_overhead::Params::full()
             };
             vec![e9_overhead::run(&p)]
+        }
+        "e10" => {
+            let p = if quick {
+                e10_faults::Params::quick()
+            } else {
+                e10_faults::Params::full()
+            };
+            vec![e10_faults::run(&p), e10_faults::run_disconnect_demo()]
         }
         "a1" => {
             let p = if quick {

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod e10_faults;
 pub mod e1_convergence;
 pub mod e2_distribution;
 pub mod e3_routing;

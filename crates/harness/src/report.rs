@@ -65,7 +65,29 @@ fn render_timeline(out: &mut String, events: &[Event]) {
             _ => None,
         })
         .collect();
-    if transitions.is_empty() && spans.is_empty() {
+    let faults: Vec<(u64, &str, &str)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Fault {
+                round,
+                kind,
+                detail,
+            } => Some((*round, kind.as_str(), detail.as_str())),
+            _ => None,
+        })
+        .collect();
+    let verdicts: Vec<(u64, &str, &str)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Verdict {
+                round,
+                outcome,
+                detail,
+            } => Some((*round, outcome.as_str(), detail.as_str())),
+            _ => None,
+        })
+        .collect();
+    if transitions.is_empty() && spans.is_empty() && faults.is_empty() && verdicts.is_empty() {
         return;
     }
     let _ = writeln!(out, "\nconvergence timeline");
@@ -76,12 +98,18 @@ fn render_timeline(out: &mut String, events: &[Event]) {
             .collect();
         let _ = writeln!(out, "  {}", marks.join("  "));
     }
+    for (round, kind, detail) in faults {
+        let _ = writeln!(out, "  fault {kind}@{round}: {detail}");
+    }
     for (label, start, end) in spans {
         let _ = writeln!(
             out,
             "  span {label}: rounds {start} -> {end} ({} rounds)",
             end.saturating_sub(start)
         );
+    }
+    for (round, outcome, detail) in verdicts {
+        let _ = writeln!(out, "  verdict {outcome}@{round}: {detail}");
     }
 }
 
@@ -276,6 +304,16 @@ mod tests {
                 start: 10,
                 end: 14,
             },
+            Event::Fault {
+                round: 10,
+                kind: "crash".to_string(),
+                detail: "node 0.5 down for 4 rounds".to_string(),
+            },
+            Event::Verdict {
+                round: 14,
+                outcome: "recovered".to_string(),
+                detail: "rounds=4".to_string(),
+            },
             Event::Summary {
                 rounds: 9,
                 total_sent: 123,
@@ -296,6 +334,11 @@ mod tests {
         assert!(report.contains("list@5"), "{report}");
         assert!(report.contains("ring@9"), "{report}");
         assert!(report.contains("span join: rounds 10 -> 14 (4 rounds)"));
+        assert!(report.contains("fault crash@10: node 0.5 down"), "{report}");
+        assert!(
+            report.contains("verdict recovered@14: rounds=4"),
+            "{report}"
+        );
         assert!(report.contains("phase-time breakdown"), "{report}");
         assert!(report.contains("deliver"), "{report}");
         assert!(report.contains("message-kind mix"), "{report}");

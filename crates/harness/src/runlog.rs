@@ -110,6 +110,29 @@ pub fn write_trace_cfg(id: &str, cfg: &TraceCfg, path: &std::path::Path) -> std:
             }
             net.detach_sink();
         }
+        // Fault injection: a crash shock plus a sustained loss window on
+        // the warmed network, watched to re-stabilization — the trace
+        // carries the `Fault` events (crashes, restarts, the loss window
+        // opening), the `recovery` span and the watchdog's `Verdict`.
+        "e10" => {
+            let mut net = stabilized_network(cfg.n, pcfg, cfg.seed, cfg.warmup);
+            net.attach_sink(sink, cfg.sample_every);
+            let fault_round = net.round() + 1;
+            let ids = net.ids();
+            let mut plan = swn_sim::faults::FaultPlan::new(cfg.seed ^ 0xfa17)
+                .with_drop(fault_round, fault_round + cfg.budget, 0.05)
+                .with_perturbation(fault_round, (cfg.n / 10).max(2));
+            for k in 1..=3usize {
+                plan = plan.with_crash(fault_round, ids[k * ids.len() / 4], 10);
+            }
+            net.attach_faults(plan);
+            // Land the fault before watching: the watchdog short-circuits
+            // on an already-sorted ring.
+            net.step();
+            let _ = swn_sim::faults::watch_recovery(&mut net, cfg.budget);
+            net.detach_faults();
+            net.detach_sink();
+        }
         // Stable-state ids (distribution, routing, probing, overhead,
         // ablations, extension): an observed window on a warmed network —
         // the fixture their measurements run on.
@@ -163,6 +186,17 @@ mod tests {
         assert!(join.contains("span join"), "{join}");
         let leave = trace_and_report("e6");
         assert!(leave.contains("span leave"), "{leave}");
+    }
+
+    #[test]
+    fn fault_trace_reports_injections_and_verdict() {
+        let report = trace_and_report("e10");
+        assert!(report.contains("fault crash@"), "{report}");
+        assert!(report.contains("fault restart@"), "{report}");
+        assert!(report.contains("fault perturb@"), "{report}");
+        assert!(report.contains("fault drop_window@"), "{report}");
+        assert!(report.contains("span recovery"), "{report}");
+        assert!(report.contains("verdict recovered@"), "{report}");
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! enforces fairness with an age cap — a delivery policy may delay a
 //! message for at most [`DeliveryPolicy::max_delay`] rounds, after which
 //! delivery is forced.
+//!
+//! Losslessness is a property of *this* layer, not of every run: when a
+//! [`crate::faults`] plan is attached to the network, the fault engine
+//! may intercept a send before it is enqueued here (drop, duplicate,
+//! partition) or clear a crashed node's queue wholesale. The channel
+//! itself never loses an enqueued message; all loss is injected above it
+//! and accounted separately (`dropped_fault` in the round stats).
 
 use rand::seq::SliceRandom;
 use rand::{Rng, RngExt as _};

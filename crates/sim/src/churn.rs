@@ -36,12 +36,23 @@ pub struct RecoveryReport {
     /// messages (joins only): the newcomer's integration path — the
     /// paper's "steps" of Theorem 4.24.
     pub path_nodes: usize,
+    /// The round budget this measurement ran under, counted from the
+    /// fault instant (the `measure_recovery` call), *not* from the start
+    /// of the run. Lets callers tell "did not recover in `budget`
+    /// rounds" apart from "the budget was spent before the fault even
+    /// landed" when composing measurements.
+    pub budget: u64,
 }
 
 impl RecoveryReport {
     /// Did the network recover within the round budget?
     pub fn recovered(&self) -> bool {
         self.rounds.is_some()
+    }
+
+    /// True when the watch ran its full budget without recovering.
+    pub fn budget_exhausted(&self) -> bool {
+        self.rounds.is_none()
     }
 }
 
@@ -137,8 +148,16 @@ pub fn leave_random(net: &mut Network, seed: u64, max_rounds: u64) -> (NodeId, R
     (victim, report)
 }
 
-fn measure_recovery(net: &mut Network, max_rounds: u64) -> RecoveryReport {
-    let mut report = RecoveryReport::default();
+/// Steps the network until the sorted ring holds again, for at most
+/// `max_rounds` rounds **counted from this call** (the fault instant) —
+/// a caller that warmed the network first does not eat into the budget.
+/// Returns the rounds-to-recovery (`None` on budget exhaustion) plus
+/// message accounting; the budget itself is echoed in the report.
+pub fn measure_recovery(net: &mut Network, max_rounds: u64) -> RecoveryReport {
+    let mut report = RecoveryReport {
+        budget: max_rounds,
+        ..RecoveryReport::default()
+    };
     let mut sorted = is_sorted_ring_view(&net.view());
     if sorted {
         report.rounds = Some(0);
@@ -265,6 +284,28 @@ mod tests {
                 assert!(rep.recovered(), "leave {step} failed");
             }
         }
+    }
+
+    #[test]
+    fn recovery_budget_counts_from_the_fault_instant() {
+        // A long pre-run must not eat into the recovery budget, and the
+        // budget is echoed in the report so callers can tell "did not
+        // recover in k rounds" from "k was spent before the fault".
+        let mut net = stable_network(8, ProtocolConfig::default(), 11, 0);
+        net.run(500);
+        let ids = net.ids();
+        let rep = leave(&mut net, ids[3], 4000);
+        assert_eq!(rep.budget, 4000);
+        assert!(rep.recovered(), "{rep:?}");
+        assert!(!rep.budget_exhausted());
+        // An impossible budget exhausts honestly: rounds = None, budget
+        // still reported.
+        let mut net2 = stable_network(8, ProtocolConfig::default(), 12, 0);
+        net2.run(500);
+        let ids2 = net2.ids();
+        let rep2 = leave(&mut net2, ids2[3], 1);
+        assert!(rep2.budget_exhausted(), "{rep2:?}");
+        assert_eq!(rep2.budget, 1);
     }
 
     #[test]

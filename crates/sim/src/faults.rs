@@ -1,0 +1,834 @@
+//! Deterministic fault injection and the recovery watchdog.
+//!
+//! The paper's self-stabilization claim (Theorems 4.3/4.18/4.24) is a
+//! statement about recovery from *transient faults*, yet the base
+//! simulator only perturbs the start state: [`Channel`] is lossless and
+//! nodes never fail mid-run. This module injects faults into the
+//! running protocol, deterministically:
+//!
+//! * a seedable, serde-serializable [`FaultPlan`] — per-round message
+//!   drop/duplication rate windows, transient bidirectional
+//!   [`Partition`]s, node [`Crash`]+restart with channel loss, and
+//!   random [`Perturbation`] of k nodes' neighbour state;
+//! * a [`FaultInjector`] owned by the network (`Network::attach_faults`)
+//!   with its **own RNG stream** seeded from the plan, so the protocol
+//!   computation's RNG draws are untouched: a network with an *empty*
+//!   plan attached replays the fault-free run bit-for-bit, and the
+//!   detached path stays byte-identical via a `FAULTS` const-generic
+//!   arm of the round loop (see `Network::step`);
+//! * a convergence **watchdog** ([`watch_recovery`]) over the union
+//!   knowledge graph (the CC view: stored links ∪ in-flight payloads).
+//!   Linearize *forwards without storing*, so a dropped `lin` message
+//!   can carry the sole remaining reference to an identifier. Knowledge
+//!   is closed under the protocol — no rule invents an identifier — so
+//!   once CC disconnects it can never reconnect, and the watchdog
+//!   reports the culprit drop as root cause instead of letting the run
+//!   time out silently. (An injected [`Perturbation`] *can* re-link
+//!   components by oracle, so E10 schedules perturbations before, not
+//!   after, its loss windows.)
+//!
+//! [`Channel`]: crate::channel::Channel
+
+use crate::network::Network;
+use crate::obs::Event;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom as _;
+use rand::{RngExt as _, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use swn_core::id::NodeId;
+use swn_core::invariants::{component_labels_view, is_sorted_ring_view, weakly_connected_view};
+use swn_core::message::Message;
+use swn_core::views::View;
+
+/// Cap on the retained drop log. Old entries are evicted from the
+/// front, so culprit analysis always sees the most recent drops.
+const DROP_LOG_CAP: usize = 8192;
+
+/// A message-loss (or duplication) probability active over a half-open
+/// round window `start..end`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RateWindow {
+    /// First round (inclusive) the rate applies to.
+    pub start: u64,
+    /// First round (exclusive) the rate no longer applies to.
+    pub end: u64,
+    /// Per-message probability in `[0, 1]`.
+    pub p: f64,
+}
+
+impl RateWindow {
+    /// True when the window covers `round` with a non-zero rate. A
+    /// `p = 0` window never consumes injector RNG, so it is exactly
+    /// equivalent to no window at all.
+    pub fn active(&self, round: u64) -> bool {
+        self.p > 0.0 && round >= self.start && round < self.end
+    }
+}
+
+/// A transient bidirectional partition: while active, every message
+/// between the two sides of the id-space cut at `cut` is dropped
+/// (nodes `≤ cut` on one side, `> cut` on the other).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// First round (inclusive) the partition holds.
+    pub start: u64,
+    /// First round (exclusive) the partition is healed.
+    pub end: u64,
+    /// The id-space cut point.
+    pub cut: NodeId,
+}
+
+impl Partition {
+    /// True when the partition is in force at `round`.
+    pub fn active(&self, round: u64) -> bool {
+        round >= self.start && round < self.end
+    }
+
+    /// True when the partition (if active) separates `a` from `b`.
+    pub fn cuts(&self, a: NodeId, b: NodeId) -> bool {
+        (a <= self.cut) != (b <= self.cut)
+    }
+}
+
+/// A node crash with restart: at `round` the node loses its volatile
+/// state (reset to the blank joining state) and its channel content,
+/// then sits out `down_for` rounds — messages addressed to it while
+/// down are lost. It restarts with blank state; its former neighbours'
+/// stored pointers to it are what reintegrate it.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Crash {
+    /// The round the crash lands in.
+    pub round: u64,
+    /// The crashing node.
+    pub node: NodeId,
+    /// Rounds the node stays down (min 1).
+    pub down_for: u64,
+}
+
+/// A random corruption of `k` live nodes' neighbour state at `round`:
+/// each victim's `r`, `lrl` and `ring` variables are rewritten to
+/// uniformly random live identifiers (its `l` pointer is kept, so the
+/// stored left-pointer chain keeps the knowledge graph weakly connected
+/// — the damage is always recoverable by Theorem 4.3 unless a
+/// subsequent loss fault severs a sole carrier). Ages and probe phases
+/// reset with the rebuild.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Perturbation {
+    /// The round the perturbation lands in.
+    pub round: u64,
+    /// Number of victims (clamped to the live population).
+    pub k: usize,
+}
+
+/// A deterministic, serializable schedule of faults. Attach to a
+/// network with `Network::attach_faults`; the same plan + network seed
+/// replays the exact same faulted computation.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the injector's private RNG stream (drop/duplicate coin
+    /// flips, perturbation victim/target picks). Independent of the
+    /// network seed by construction.
+    pub seed: u64,
+    /// Message-loss rate windows. For overlapping windows the first
+    /// active one wins.
+    pub drop: Vec<RateWindow>,
+    /// Message-duplication rate windows (an extra copy is enqueued).
+    pub duplicate: Vec<RateWindow>,
+    /// Transient bidirectional partitions.
+    pub partitions: Vec<Partition>,
+    /// Node crashes with restart.
+    pub crashes: Vec<Crash>,
+    /// Random neighbour-state perturbations.
+    pub perturbations: Vec<Perturbation>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given injector seed. An empty plan
+    /// attached to a network changes nothing: no RNG is consumed and
+    /// the computation is bit-for-bit the fault-free one.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds a message-loss window over rounds `start..end`.
+    #[must_use]
+    pub fn with_drop(mut self, start: u64, end: u64, p: f64) -> Self {
+        self.drop.push(RateWindow { start, end, p });
+        self
+    }
+
+    /// Adds a duplication window over rounds `start..end`.
+    #[must_use]
+    pub fn with_duplicate(mut self, start: u64, end: u64, p: f64) -> Self {
+        self.duplicate.push(RateWindow { start, end, p });
+        self
+    }
+
+    /// Adds a bidirectional partition over rounds `start..end`.
+    #[must_use]
+    pub fn with_partition(mut self, start: u64, end: u64, cut: NodeId) -> Self {
+        self.partitions.push(Partition { start, end, cut });
+        self
+    }
+
+    /// Adds a crash of `node` at `round`, down for `down_for` rounds.
+    #[must_use]
+    pub fn with_crash(mut self, round: u64, node: NodeId, down_for: u64) -> Self {
+        self.crashes.push(Crash {
+            round,
+            node,
+            down_for,
+        });
+        self
+    }
+
+    /// Adds a `k`-victim state perturbation at `round`.
+    #[must_use]
+    pub fn with_perturbation(mut self, round: u64, k: usize) -> Self {
+        self.perturbations.push(Perturbation { round, k });
+        self
+    }
+
+    /// True when the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.drop.is_empty()
+            && self.duplicate.is_empty()
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+            && self.perturbations.is_empty()
+    }
+
+    /// Checks structural validity: probabilities in `[0, 1]`, windows
+    /// non-inverted, crash downtimes and perturbation sizes non-zero.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.drop.iter().chain(&self.duplicate) {
+            if !(0.0..=1.0).contains(&w.p) {
+                return Err(format!("rate {} outside [0, 1]", w.p));
+            }
+            if w.end < w.start {
+                return Err(format!("inverted window {}..{}", w.start, w.end));
+            }
+        }
+        for p in &self.partitions {
+            if p.end < p.start {
+                return Err(format!("inverted partition {}..{}", p.start, p.end));
+            }
+        }
+        for c in &self.crashes {
+            if c.down_for == 0 {
+                return Err("crash with zero downtime".to_string());
+            }
+        }
+        for p in &self.perturbations {
+            if p.k == 0 {
+                return Err("perturbation of zero nodes".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One message destroyed by the injector — the watchdog's evidence
+/// trail for root-cause analysis. Crash channel loss is logged with the
+/// crashed node as both endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DropRecord {
+    /// The round the drop happened in.
+    pub round: u64,
+    /// The sending node.
+    pub src: NodeId,
+    /// The intended destination.
+    pub dest: NodeId,
+    /// The destroyed message.
+    pub msg: Message,
+}
+
+/// The per-send decision the injector hands the round loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Fate {
+    /// Deliver normally.
+    Deliver,
+    /// Destroy the message (already logged and to be counted as
+    /// `dropped_fault`).
+    Drop,
+    /// Enqueue an extra copy alongside the original.
+    Duplicate,
+}
+
+/// Live fault-injection state owned by a faulted network: the plan, the
+/// injector's private RNG, the set of currently-down nodes and the
+/// recent drop log.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Crashed nodes → the round they restart at.
+    down: BTreeMap<NodeId, u64>,
+    drop_log: Vec<DropRecord>,
+}
+
+impl FaultInjector {
+    /// Builds an injector for a validated plan.
+    ///
+    /// # Panics
+    /// Panics when [`FaultPlan::validate`] rejects the plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        plan.validate().expect("invalid fault plan");
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector {
+            plan,
+            rng,
+            down: BTreeMap::new(),
+            drop_log: Vec::new(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True while `id` is crashed (skipped by the round loop; messages
+    /// to it are destroyed).
+    pub fn is_down(&self, id: NodeId) -> bool {
+        self.down.contains_key(&id)
+    }
+
+    /// Number of currently-down nodes.
+    pub fn down_count(&self) -> usize {
+        self.down.len()
+    }
+
+    /// The retained log of injector-destroyed messages, oldest first
+    /// (bounded — old entries are evicted, recent ones always kept).
+    pub fn drops(&self) -> &[DropRecord] {
+        &self.drop_log
+    }
+
+    /// Records a destroyed message in the bounded log.
+    pub(crate) fn note_drop(&mut self, round: u64, src: NodeId, dest: NodeId, msg: Message) {
+        if self.drop_log.len() >= DROP_LOG_CAP {
+            self.drop_log.drain(..DROP_LOG_CAP / 2);
+        }
+        self.drop_log.push(DropRecord {
+            round,
+            src,
+            dest,
+            msg,
+        });
+    }
+
+    /// Marks `node` down until `restart_round`.
+    pub(crate) fn mark_down(&mut self, node: NodeId, restart_round: u64) {
+        self.down.insert(node, restart_round);
+    }
+
+    /// Removes and returns the nodes whose downtime ends at or before
+    /// `round`.
+    pub(crate) fn take_restarts(&mut self, round: u64) -> Vec<NodeId> {
+        let due: Vec<NodeId> = self
+            .down
+            .iter()
+            .filter(|&(_, &until)| until <= round)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &due {
+            self.down.remove(id);
+        }
+        due
+    }
+
+    /// The crashes scheduled for `round`.
+    pub(crate) fn crashes_at(&self, round: u64) -> Vec<Crash> {
+        self.plan
+            .crashes
+            .iter()
+            .filter(|c| c.round == round)
+            .copied()
+            .collect()
+    }
+
+    /// Timeline markers for windows opening at `round` (drop and
+    /// duplication rates, partitions) — rendered as `Fault` events so
+    /// reports show when loss regimes begin.
+    pub(crate) fn windows_opening_at(&self, round: u64) -> Vec<(&'static str, String)> {
+        let mut out = Vec::new();
+        for w in &self.plan.drop {
+            if w.start == round && w.p > 0.0 {
+                out.push((
+                    "drop_window",
+                    format!("p={} over rounds {}..{}", w.p, w.start, w.end),
+                ));
+            }
+        }
+        for w in &self.plan.duplicate {
+            if w.start == round && w.p > 0.0 {
+                out.push((
+                    "dup_window",
+                    format!("p={} over rounds {}..{}", w.p, w.start, w.end),
+                ));
+            }
+        }
+        for p in &self.plan.partitions {
+            if p.start == round {
+                out.push((
+                    "partition",
+                    format!("cut at {:?} over rounds {}..{}", p.cut, p.start, p.end),
+                ));
+            }
+        }
+        out
+    }
+
+    /// The perturbations scheduled for `round`.
+    pub(crate) fn perturbations_at(&self, round: u64) -> Vec<Perturbation> {
+        self.plan
+            .perturbations
+            .iter()
+            .filter(|p| p.round == round)
+            .copied()
+            .collect()
+    }
+
+    /// Draws `k` distinct victims from `pool` (injector RNG).
+    pub(crate) fn pick_distinct(&mut self, k: usize, pool: &[NodeId]) -> Vec<NodeId> {
+        let mut v = pool.to_vec();
+        v.shuffle(&mut self.rng);
+        v.truncate(k.min(v.len()));
+        v
+    }
+
+    /// Draws one uniform element of `pool` (injector RNG).
+    ///
+    /// # Panics
+    /// Panics on an empty pool.
+    pub(crate) fn pick_one(&mut self, pool: &[NodeId]) -> NodeId {
+        pool[self.rng.random_range(0..pool.len())]
+    }
+
+    /// Decides the fate of one send. Fixed decision order (down
+    /// destination, partition, loss rate, duplication rate); injector
+    /// RNG is consumed **only** when a rate window is active, so rounds
+    /// outside every window replay the fault-free computation exactly.
+    pub(crate) fn fate(&mut self, round: u64, src: NodeId, dest: NodeId, msg: Message) -> Fate {
+        if self.is_down(dest) || self.is_down(src) {
+            self.note_drop(round, src, dest, msg);
+            return Fate::Drop;
+        }
+        if self
+            .plan
+            .partitions
+            .iter()
+            .any(|p| p.active(round) && p.cuts(src, dest))
+        {
+            self.note_drop(round, src, dest, msg);
+            return Fate::Drop;
+        }
+        let drop_p = self.plan.drop.iter().find(|w| w.active(round)).map(|w| w.p);
+        if let Some(p) = drop_p {
+            if self.rng.random_bool(p) {
+                self.note_drop(round, src, dest, msg);
+                return Fate::Drop;
+            }
+        }
+        let dup_p = self
+            .plan
+            .duplicate
+            .iter()
+            .find(|w| w.active(round))
+            .map(|w| w.p);
+        if let Some(p) = dup_p {
+            if self.rng.random_bool(p) {
+                return Fate::Duplicate;
+            }
+        }
+        Fate::Deliver
+    }
+}
+
+/// The watchdog's final classification of a recovery watch.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The sorted ring held again after `rounds` rounds (counted from
+    /// the watch start).
+    Recovered {
+        /// Rounds from the watch start to re-stabilization.
+        rounds: u64,
+    },
+    /// The union knowledge graph (CC view) fell apart: some identifier
+    /// is unreachable from the rest and no protocol rule can ever
+    /// reintroduce it. `culprit` is the most recent logged drop whose
+    /// payload ended up in a different component than its sender — the
+    /// sole-carrier drop that severed the network — when one is
+    /// identifiable.
+    PermanentlyDisconnected {
+        /// The absolute round disconnection was detected at.
+        round: u64,
+        /// The responsible drop, if identifiable from the log.
+        culprit: Option<DropRecord>,
+    },
+    /// The round budget ran out with the knowledge graph still
+    /// connected — slow convergence, not impossibility.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl Verdict {
+    /// Stable label for reports: `"recovered"`, `"disconnected"` or
+    /// `"budget_exhausted"`.
+    pub fn outcome(&self) -> &'static str {
+        match self {
+            Verdict::Recovered { .. } => "recovered",
+            Verdict::PermanentlyDisconnected { .. } => "disconnected",
+            Verdict::BudgetExhausted { .. } => "budget_exhausted",
+        }
+    }
+
+    /// Rounds to recovery, when recovered.
+    pub fn recovered_rounds(&self) -> Option<u64> {
+        match self {
+            Verdict::Recovered { rounds } => Some(*rounds),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a [`watch_recovery`] run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WatchReport {
+    /// The watchdog's classification.
+    pub verdict: Verdict,
+    /// Messages sent during the watch (overhead accounting).
+    pub messages: u64,
+    /// Messages the injector destroyed during the watch.
+    pub dropped_fault: u64,
+    /// The round budget the watch ran under.
+    pub budget: u64,
+}
+
+/// Runs the network for up to `budget` rounds from the fault instant
+/// (the call time), classifying the outcome:
+///
+/// * **recovered** — `is_sorted_ring_view` holds again (checked only on
+///   rounds whose `links_changed` flag is set, like `run_until`);
+/// * **permanently disconnected** — the CC view (node states ∪
+///   in-flight payloads) is no longer weakly connected. Checked on
+///   rounds with injector drops (channel loss from a crash counts);
+///   once disconnected, the knowledge closure argument makes recovery
+///   impossible, so the watch stops immediately and names the culprit
+///   drop when one is identifiable;
+/// * **budget exhausted** — neither of the above within `budget`.
+///
+/// Emits a `"recovery"` [`Event::Span`] plus an [`Event::Verdict`] to
+/// the attached sink, if any.
+pub fn watch_recovery(net: &mut Network, budget: u64) -> WatchReport {
+    let start = net.round();
+    let mut report = WatchReport {
+        verdict: Verdict::BudgetExhausted { budget },
+        messages: 0,
+        dropped_fault: 0,
+        budget,
+    };
+    let mut sorted = is_sorted_ring_view(&net.view());
+    if sorted {
+        report.verdict = Verdict::Recovered { rounds: 0 };
+    } else {
+        for k in 1..=budget {
+            let stats = net.step();
+            report.messages += stats.total_sent();
+            report.dropped_fault += stats.dropped_fault;
+            if stats.links_changed {
+                sorted = is_sorted_ring_view(&net.view());
+            }
+            if sorted {
+                report.verdict = Verdict::Recovered { rounds: k };
+                break;
+            }
+            if stats.dropped_fault > 0 && !weakly_connected_view(&net.view(), View::Cc) {
+                report.verdict = Verdict::PermanentlyDisconnected {
+                    round: net.round(),
+                    culprit: find_culprit(net),
+                };
+                break;
+            }
+        }
+    }
+    let end = net.round();
+    net.emit(Event::Span {
+        label: "recovery".to_string(),
+        start,
+        end,
+    });
+    net.emit(Event::Verdict {
+        round: end,
+        outcome: report.verdict.outcome().to_string(),
+        detail: verdict_detail(&report.verdict),
+    });
+    report
+}
+
+/// Scans the injector's drop log (most recent first) for a destroyed
+/// message whose payload now sits in a different weak component of the
+/// CC view than its sender — the signature of a sole-carrier drop.
+fn find_culprit(net: &Network) -> Option<DropRecord> {
+    let inj = net.fault_injector()?;
+    let v = net.view();
+    let labels = component_labels_view(&v, View::Cc);
+    for rec in inj.drops().iter().rev() {
+        let Some(src_rank) = v.index_of(rec.src) else {
+            continue;
+        };
+        for x in rec.msg.carried_ids() {
+            if let Some(x_rank) = v.index_of(x) {
+                if labels[x_rank] != labels[src_rank] {
+                    return Some(*rec);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn verdict_detail(v: &Verdict) -> String {
+    match v {
+        Verdict::Recovered { rounds } => format!("rounds={rounds}"),
+        Verdict::PermanentlyDisconnected {
+            round,
+            culprit: Some(c),
+        } => format!(
+            "at round {round}: dropped {:?} from {:?} to {:?} in round {} was a sole carrier",
+            c.msg, c.src, c.dest, c.round
+        ),
+        Verdict::PermanentlyDisconnected {
+            round,
+            culprit: None,
+        } => {
+            format!("at round {round}: culprit not identifiable from the drop log")
+        }
+        Verdict::BudgetExhausted { budget } => format!("budget={budget}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swn_core::config::ProtocolConfig;
+    use swn_core::id::{evenly_spaced_ids, Extended};
+    use swn_core::invariants::make_sorted_ring;
+    use swn_core::node::Node;
+
+    fn fid(f: f64) -> NodeId {
+        NodeId::from_fraction(f)
+    }
+
+    /// a—b form a sorted 2-list; c is blank (knows nobody, nobody knows
+    /// it) except for the preloaded `Lin(c)` hints.
+    fn three_node_net(hint_to_b: bool) -> (Network, NodeId, NodeId, NodeId) {
+        let cfg = ProtocolConfig::default();
+        let (a, b, c) = (fid(0.2), fid(0.5), fid(0.8));
+        let na = Node::with_state(a, Extended::NegInf, Extended::Fin(b), a, None, cfg);
+        let nb = Node::with_state(b, Extended::Fin(a), Extended::PosInf, b, None, cfg);
+        let nc = Node::new(c, cfg);
+        let mut net = Network::new(vec![na, nb, nc], 3);
+        net.preload(a, Message::Lin(c));
+        if hint_to_b {
+            net.preload(b, Message::Lin(c));
+        }
+        (net, a, b, c)
+    }
+
+    #[test]
+    fn sole_carrier_drop_is_reported_with_its_culprit_edge() {
+        // Only a knows c, as an in-flight Lin(c). a's handler forwards
+        // it toward b without storing (c > a.r = b), and the round-1
+        // loss window destroys the forward — the sole carrier. The
+        // watchdog must classify this as permanent disconnection and
+        // name the a→b Lin(c) drop.
+        let (mut net, a, b, c) = three_node_net(false);
+        net.attach_faults(FaultPlan::new(7).with_drop(1, 2, 1.0));
+        let report = watch_recovery(&mut net, 100);
+        match &report.verdict {
+            Verdict::PermanentlyDisconnected { culprit, .. } => {
+                let rec = culprit.expect("culprit identifiable");
+                assert_eq!(rec.msg, Message::Lin(c));
+                assert_eq!(rec.src, a);
+                assert_eq!(rec.dest, b);
+                assert_eq!(rec.round, 1);
+            }
+            other => panic!("expected permanent disconnection, got {other:?}"),
+        }
+        assert!(report.dropped_fault > 0);
+        assert_eq!(report.verdict.outcome(), "disconnected");
+    }
+
+    #[test]
+    fn duplicate_carrier_survives_the_same_drop() {
+        // Same scenario, but b also holds a Lin(c) hint: b adopts c as
+        // its right neighbour on delivery (before any send can be
+        // dropped), so the knowledge graph stays connected through the
+        // loss window and the ring closes over all three nodes.
+        let (mut net, _a, _b, c) = three_node_net(true);
+        net.attach_faults(FaultPlan::new(7).with_drop(1, 2, 1.0));
+        let report = watch_recovery(&mut net, 500);
+        assert!(
+            matches!(report.verdict, Verdict::Recovered { rounds } if rounds > 0),
+            "expected recovery, got {:?}",
+            report.verdict
+        );
+        assert!(net.node(c).is_some());
+    }
+
+    #[test]
+    fn same_plan_and_seeds_replay_bit_for_bit() {
+        let run = || {
+            let ids = evenly_spaced_ids(12);
+            let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 5);
+            net.attach_faults(
+                FaultPlan::new(11)
+                    .with_drop(3, 20, 0.3)
+                    .with_duplicate(5, 15, 0.2)
+                    .with_crash(8, ids[4], 4)
+                    .with_perturbation(2, 3),
+            );
+            net.run(30);
+            (
+                format!("{:?}", net.snapshot().as_view().edges(View::Cc)),
+                net.trace().rounds().to_vec(),
+                net.fault_injector().expect("attached").drops().to_vec(),
+            )
+        };
+        let (e1, t1, d1) = run();
+        let (e2, t2, d2) = run();
+        assert_eq!(e1, e2);
+        assert_eq!(t1, t2);
+        assert_eq!(d1, d2);
+        assert!(!d1.is_empty(), "the loss window must have destroyed mail");
+    }
+
+    #[test]
+    fn different_fault_seeds_diverge() {
+        let run = |fault_seed: u64| {
+            let ids = evenly_spaced_ids(12);
+            let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 5);
+            net.attach_faults(FaultPlan::new(fault_seed).with_drop(1, 30, 0.4));
+            net.run(30);
+            net.fault_injector().expect("attached").drops().to_vec()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn crash_and_restart_recovers_on_a_stable_ring() {
+        let ids = evenly_spaced_ids(10);
+        let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 9);
+        net.run(10);
+        net.attach_faults(FaultPlan::new(1).with_crash(net.round() + 1, ids[4], 3));
+        net.step(); // crash lands
+        let inj = net.fault_injector().expect("attached");
+        assert!(inj.is_down(ids[4]));
+        assert_eq!(inj.down_count(), 1);
+        let report = watch_recovery(&mut net, 5000);
+        assert!(
+            matches!(report.verdict, Verdict::Recovered { .. }),
+            "crash+restart must heal: {:?}",
+            report.verdict
+        );
+        assert!(!net.fault_injector().expect("attached").is_down(ids[4]));
+    }
+
+    #[test]
+    fn perturbation_is_recoverable_damage() {
+        let ids = evenly_spaced_ids(16);
+        let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 4);
+        net.run(10);
+        net.attach_faults(FaultPlan::new(2).with_perturbation(net.round() + 1, 5));
+        net.step(); // perturbation lands
+        assert!(
+            !is_sorted_ring_view(&net.view()),
+            "5 corrupted nodes must break the ring"
+        );
+        let report = watch_recovery(&mut net, 5000);
+        assert!(
+            matches!(report.verdict, Verdict::Recovered { .. }),
+            "l-preserving perturbation is recoverable: {:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn partition_heals_after_the_window() {
+        let ids = evenly_spaced_ids(12);
+        let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 6);
+        net.run(5);
+        let cut = ids[5];
+        let now = net.round();
+        net.attach_faults(FaultPlan::new(3).with_partition(now + 1, now + 11, cut));
+        net.run(10);
+        assert!(
+            net.trace().total_dropped_fault() > 0,
+            "cross-cut traffic must be destroyed while partitioned"
+        );
+        let report = watch_recovery(&mut net, 5000);
+        assert!(
+            matches!(report.verdict, Verdict::Recovered { .. }),
+            "stored pointers survive a partition: {:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_parameters() {
+        assert!(FaultPlan::new(0).validate().is_ok());
+        assert!(FaultPlan::new(0).with_drop(0, 5, 1.5).validate().is_err());
+        assert!(FaultPlan::new(0).with_drop(5, 2, 0.5).validate().is_err());
+        assert!(FaultPlan::new(0)
+            .with_partition(9, 3, fid(0.5))
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .with_crash(1, fid(0.5), 0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .with_perturbation(1, 0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn injector_rejects_invalid_plans() {
+        let _ = FaultInjector::new(FaultPlan::new(0).with_drop(0, 5, -0.1));
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::new(42)
+            .with_drop(1, 10, 0.25)
+            .with_duplicate(2, 8, 0.5)
+            .with_partition(3, 6, fid(0.4))
+            .with_crash(4, fid(0.6), 2)
+            .with_perturbation(5, 7);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new(1).is_empty());
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn rate_window_is_inactive_at_zero_probability() {
+        let w = RateWindow {
+            start: 0,
+            end: 100,
+            p: 0.0,
+        };
+        assert!(!w.active(50), "p = 0 must behave as no window at all");
+    }
+}

@@ -21,7 +21,10 @@
 //! * [`persist`] — JSON checkpointing of global states;
 //! * [`slots`] — the dense id→slot index behind O(1) message routing;
 //! * [`obs`] — zero-overhead observability: pluggable sinks, sampled
-//!   phase timers, online histograms and convergence timeline events.
+//!   phase timers, online histograms and convergence timeline events;
+//! * [`faults`] — deterministic fault injection (loss/duplication
+//!   windows, partitions, crash+restart, state perturbation) and the
+//!   sole-carrier recovery watchdog.
 //!
 //! ## Example
 //!
@@ -43,6 +46,7 @@
 pub mod channel;
 pub mod churn;
 pub mod convergence;
+pub mod faults;
 pub mod init;
 pub mod network;
 pub mod obs;

@@ -12,13 +12,14 @@
 //! state and policy replay the exact same computation.
 
 use crate::channel::{Channel, DeliveryPolicy};
+use crate::faults::{Fate, FaultInjector, FaultPlan};
 use crate::obs::{Event, ObsState, Sink};
 use crate::slots::SlotIndex;
 use crate::trace::{RoundStats, Trace};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use swn_core::id::NodeId;
+use swn_core::id::{Extended, NodeId};
 use swn_core::message::Message;
 use swn_core::node::Node;
 use swn_core::outbox::Outbox;
@@ -54,6 +55,10 @@ pub struct Network {
     // round loop, so the unobserved network pays one pointer of space and
     // one well-predicted branch per round — nothing in the loop body.
     obs: Option<Box<ObsState>>,
+    // Fault injection: present iff a plan is attached (`attach_faults`).
+    // Same dispatch scheme as `obs` — a second const-generic arm keeps
+    // the fault-free round loop byte-identical.
+    faults: Option<Box<FaultInjector>>,
     seed: u64,
 }
 
@@ -93,6 +98,7 @@ impl Network {
             order_buf: Vec::new(),
             inbox_buf: Vec::new(),
             obs: None,
+            faults: None,
             seed,
         }
     }
@@ -137,6 +143,39 @@ impl Network {
     /// True when an observation sink is attached.
     pub fn has_sink(&self) -> bool {
         self.obs.is_some()
+    }
+
+    /// Attaches a fault plan: subsequent rounds run the fault-injecting
+    /// monomorphization of the round loop, which applies the plan's
+    /// crashes/restarts/perturbations at round start and consults the
+    /// injector for every send's fate. Replaces any previous injector.
+    ///
+    /// The injector draws from its **own** RNG stream (seeded from
+    /// `plan.seed`), and only inside active windows — attaching an
+    /// empty plan replays the fault-free computation bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics when [`FaultPlan::validate`] rejects the plan.
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(Box::new(FaultInjector::new(plan)));
+    }
+
+    /// Detaches the fault injector (subsequent rounds are fault-free),
+    /// returning it so callers can inspect the drop log. `None` when
+    /// nothing was attached.
+    pub fn detach_faults(&mut self) -> Option<Box<FaultInjector>> {
+        self.faults.take()
+    }
+
+    /// True when a fault injector is attached.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The attached fault injector, if any — the watchdog reads its
+    /// drop log for root-cause analysis.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_deref()
     }
 
     /// Emits an event to the attached sink, if any (no-op otherwise).
@@ -208,15 +247,17 @@ impl Network {
 
     /// Executes one round; returns its stats (also appended to the trace).
     pub fn step(&mut self) -> RoundStats {
-        // Dispatch to one of two monomorphizations: with no sink attached
-        // the `OBS = false` copy runs, in which every observer branch
-        // below is constant-folded away — it compiles to exactly the
+        // Dispatch to one of four monomorphizations: with no sink and no
+        // fault plan attached the `OBS = false, FAULTS = false` copy
+        // runs, in which every observer and injector branch below is
+        // constant-folded away — it compiles to exactly the
         // pre-observability round loop (guarded by the stepengine bench's
         // instrumented-vs-noop pair).
-        if self.obs.is_some() {
-            self.step_impl::<true>(false)
-        } else {
-            self.step_impl::<false>(false)
+        match (self.obs.is_some(), self.faults.is_some()) {
+            (false, false) => self.step_impl::<false, false>(false),
+            (true, false) => self.step_impl::<true, false>(false),
+            (false, true) => self.step_impl::<false, true>(false),
+            (true, true) => self.step_impl::<true, true>(false),
         }
     }
 
@@ -225,13 +266,20 @@ impl Network {
     /// proptest (see the `tests` module and DESIGN.md §8).
     #[cfg(test)]
     fn step_reference(&mut self) -> RoundStats {
-        self.step_impl::<false>(true)
+        self.step_impl::<false, false>(true)
     }
 
-    fn step_impl<const OBS: bool>(&mut self, flush_per_message: bool) -> RoundStats {
+    fn step_impl<const OBS: bool, const FAULTS: bool>(
+        &mut self,
+        flush_per_message: bool,
+    ) -> RoundStats {
         self.round += 1;
         let now = self.round;
         let mut stats = RoundStats::default();
+
+        if FAULTS {
+            self.apply_round_faults(now, &mut stats);
+        }
 
         // Phase timers run only on sampled rounds of an observed network;
         // with OBS = false `sample` is constant false and every `timed`
@@ -261,6 +309,14 @@ impl Network {
         for &i in &order {
             if self.nodes[i].is_none() {
                 continue; // removed earlier in this round by churn callers
+            }
+            if FAULTS {
+                // Crashed nodes sit out entirely: no deliveries, no
+                // regular action (sends *to* them die in `flush_outbox`).
+                let nid = self.nodes[i].as_ref().expect("checked above").id();
+                if self.faults.as_ref().is_some_and(|f| f.is_down(nid)) {
+                    continue;
+                }
             }
             // Receive actions: all eligible messages, shuffled. The
             // outbox is flushed once per action *batch*, not per message.
@@ -310,12 +366,12 @@ impl Network {
                     let node = self.nodes[i].as_mut().expect("checked above");
                     node.on_message(m, &mut self.rng, &mut self.outbox);
                     if flush_per_message {
-                        self.flush_outbox::<OBS>(i, now, &mut stats);
+                        self.flush_outbox::<OBS, FAULTS>(i, now, &mut stats);
                     }
                 }
             });
             timed(sample, &mut ph[3], || {
-                self.flush_outbox::<OBS>(i, now, &mut stats);
+                self.flush_outbox::<OBS, FAULTS>(i, now, &mut stats);
             });
             // Regular action. The handler can silently rewrite link state
             // (sanitation normalizes without emitting events), so compare
@@ -331,7 +387,7 @@ impl Network {
                 stats.links_changed = true;
             }
             timed(sample, &mut ph[3], || {
-                self.flush_outbox::<OBS>(i, now, &mut stats);
+                self.flush_outbox::<OBS, FAULTS>(i, now, &mut stats);
             });
         }
         inbox.clear();
@@ -399,7 +455,7 @@ impl Network {
             round: now,
             sent: stats.sent.to_vec(),
             delivered: stats.total_delivered(),
-            dropped: stats.dropped,
+            dropped: stats.dropped(),
             bounced: stats.bounced,
             depth_max,
         });
@@ -525,7 +581,12 @@ impl Network {
         }
     }
 
-    fn flush_outbox<const OBS: bool>(&mut self, sender: usize, now: u64, stats: &mut RoundStats) {
+    fn flush_outbox<const OBS: bool, const FAULTS: bool>(
+        &mut self,
+        sender: usize,
+        now: u64,
+        stats: &mut RoundStats,
+    ) {
         // Destructure to split the borrows: the send list stays borrowed
         // from the outbox while routing mutates channels/nodes — no
         // buffer swap, no copy of the sends.
@@ -537,8 +598,14 @@ impl Network {
             tracked,
             tracked_forwarders,
             obs,
+            faults,
             ..
         } = self;
+        let sender_id = if FAULTS {
+            nodes[sender].as_ref().map(Node::id)
+        } else {
+            None
+        };
         for ev in outbox.drain_events() {
             stats.count_event(&ev);
             if OBS {
@@ -563,8 +630,32 @@ impl Network {
                     }
                 }
             }
+            let mut duplicate = false;
+            if FAULTS {
+                // The injector decides each send's fate with its own RNG
+                // stream (consumed only inside active windows), so the
+                // protocol RNG draws are untouched by any plan.
+                if let (Some(inj), Some(src)) = (faults.as_deref_mut(), sender_id) {
+                    match inj.fate(now, src, dest, msg) {
+                        Fate::Deliver => {}
+                        Fate::Drop => {
+                            stats.dropped_fault += 1;
+                            continue;
+                        }
+                        Fate::Duplicate => {
+                            stats.duplicated_fault += 1;
+                            duplicate = true;
+                        }
+                    }
+                }
+            }
             match index.get(dest) {
-                Some(j) => channels[j].push(msg, now),
+                Some(j) => {
+                    channels[j].push(msg, now);
+                    if FAULTS && duplicate {
+                        channels[j].push(msg, now);
+                    }
+                }
                 None => {
                     // The destination left the network. The sender detects
                     // the departure and clears its dangling pointers. A
@@ -588,12 +679,100 @@ impl Network {
                     if bounced {
                         stats.bounced += 1;
                     } else {
-                        stats.dropped += 1;
+                        stats.dropped_churn += 1;
                     }
                 }
             }
         }
         outbox.clear();
+    }
+
+    /// Applies the attached plan's round-start faults for round `now`:
+    /// restarts first (downtime over ⇒ the blank node rejoins the loop),
+    /// then crashes (state reset + channel loss + downtime), then
+    /// neighbour-state perturbations. Only called from the `FAULTS`
+    /// monomorphizations, at most once per round, so it stays out of the
+    /// hot path entirely.
+    fn apply_round_faults(&mut self, now: u64, stats: &mut RoundStats) {
+        // Take the injector out to split its borrow from the node table;
+        // a `Box` move, no allocation.
+        let Some(mut inj) = self.faults.take() else {
+            return;
+        };
+        for id in inj.take_restarts(now) {
+            stats.links_changed = true;
+            self.emit(Event::Fault {
+                round: now,
+                kind: "restart".to_string(),
+                detail: format!("{id:?} back up with blank state"),
+            });
+        }
+        for (kind, detail) in inj.windows_opening_at(now) {
+            self.emit(Event::Fault {
+                round: now,
+                kind: kind.to_string(),
+                detail,
+            });
+        }
+        for c in inj.crashes_at(now) {
+            let Some(slot) = self.index.get(c.node) else {
+                continue; // departed before its crash was due
+            };
+            // Channel loss: in-flight mail addressed to the victim dies
+            // with it. Logged for the watchdog's culprit analysis (with
+            // the victim as both endpoints — the true senders are gone
+            // from the queue's bookkeeping).
+            let mut lost = 0u64;
+            for &m in self.channels[slot].messages() {
+                inj.note_drop(now, c.node, c.node, m);
+                lost += 1;
+            }
+            let cfg = *self.nodes[slot]
+                .as_ref()
+                .expect("indexed slot is live")
+                .config();
+            self.nodes[slot] = Some(Node::new(c.node, cfg));
+            self.channels[slot].clear();
+            inj.mark_down(c.node, now.saturating_add(c.down_for));
+            stats.dropped_fault += lost;
+            stats.links_changed = true;
+            self.emit(Event::Fault {
+                round: now,
+                kind: "crash".to_string(),
+                detail: format!(
+                    "{:?} down for {} rounds, {lost} queued messages lost",
+                    c.node, c.down_for
+                ),
+            });
+        }
+        for p in inj.perturbations_at(now) {
+            let live: Vec<NodeId> = self.index.ids().filter(|id| !inj.is_down(*id)).collect();
+            if live.len() < 2 {
+                continue;
+            }
+            let victims = inj.pick_distinct(p.k, &live);
+            let hit = victims.len();
+            for v in victims {
+                let slot = self.index.get(v).expect("picked from live ids");
+                let node = self.nodes[slot].as_ref().expect("live slot");
+                let cfg = *node.config();
+                // Keep `l`: the stored left-pointer chain keeps the
+                // knowledge graph weakly connected, so the damage is
+                // recoverable by Theorem 4.3 (see faults.rs docs).
+                let l = node.left();
+                let r = Extended::Fin(inj.pick_one(&live));
+                let lrl = inj.pick_one(&live);
+                let ring = Some(inj.pick_one(&live));
+                self.nodes[slot] = Some(Node::with_state(v, l, r, lrl, ring, cfg));
+                stats.links_changed = true;
+            }
+            self.emit(Event::Fault {
+                round: now,
+                kind: "perturb".to_string(),
+                detail: format!("{hit} nodes' r/lrl/ring randomized"),
+            });
+        }
+        self.faults = Some(inj);
     }
 }
 
@@ -640,10 +819,7 @@ mod tests {
         net.run(50);
         assert!(is_sorted_ring(&net.snapshot()), "stability violated");
         assert_eq!(net.trace().total_probe_repairs(), 0);
-        assert_eq!(
-            net.trace().rounds().iter().map(|r| r.dropped).sum::<u64>(),
-            0
-        );
+        assert_eq!(net.trace().total_dropped(), 0);
     }
 
     #[test]
@@ -996,6 +1172,69 @@ mod tests {
             fingerprint(&net)
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn empty_fault_plan_never_perturbs_the_computation() {
+        // The determinism contract of the fault layer: an attached but
+        // empty plan consumes no injector RNG and touches no state, so
+        // the computation (including churn rounds) is bit-for-bit the
+        // fault-free one.
+        let run = |attach: bool| {
+            let ids = evenly_spaced_ids(12);
+            let mut net = generate(
+                InitialTopology::RandomSparse { extra: 2 },
+                &ids,
+                ProtocolConfig::default(),
+                9,
+            )
+            .into_network(9);
+            if attach {
+                net.attach_faults(crate::faults::FaultPlan::new(123));
+            }
+            net.run(40);
+            let victim = net.ids()[5];
+            net.remove_node(victim);
+            net.run(40);
+            fingerprint(&net)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn fault_injector_attach_detach_roundtrip() {
+        let mut net = stable_net(6, 2);
+        assert!(!net.has_faults());
+        assert!(net.detach_faults().is_none());
+        net.attach_faults(crate::faults::FaultPlan::new(1).with_drop(1, 3, 1.0));
+        assert!(net.has_faults());
+        net.run(4);
+        assert!(net.trace().total_dropped_fault() > 0);
+        let inj = net.detach_faults().expect("was attached");
+        assert!(!inj.drops().is_empty());
+        assert!(!net.has_faults());
+        // Detached again, rounds are fault-free.
+        let before = net.trace().total_dropped_fault();
+        net.run(4);
+        assert_eq!(net.trace().total_dropped_fault(), before);
+    }
+
+    #[test]
+    fn duplication_window_enqueues_extra_copies() {
+        let mut net = stable_net(8, 5);
+        net.attach_faults(crate::faults::FaultPlan::new(4).with_duplicate(1, 6, 1.0));
+        net.run(10);
+        let t = net.trace();
+        let dup = t.total_duplicated_fault();
+        assert!(dup > 0, "a p=1 window must duplicate every send");
+        // Immediate policy on a stable ring: every copy sent in round r
+        // is delivered in r+1, so over the run delivered = sent + dup
+        // minus the last round's still-in-flight mail.
+        let in_flight = t.rounds().last().expect("ran").total_sent();
+        assert_eq!(t.total_delivered(), t.total_sent() + dup - in_flight);
+        // Duplicates never disturb a stable ring (delivery is idempotent
+        // on sorted state).
+        assert!(is_sorted_ring(&net.snapshot()));
     }
 
     #[test]

@@ -250,6 +250,32 @@ pub enum Event {
         /// Absolute round the span ended at.
         end: u64,
     },
+    /// A fault was injected by the fault engine (`swn_sim::faults`):
+    /// a crash, a restart, a state perturbation, or the opening of a
+    /// drop/duplication/partition window. Per-message drop/duplicate
+    /// decisions are *not* individually emitted — they aggregate into
+    /// the `dropped` counter of `Round` records and the trace's
+    /// `dropped_fault`/`duplicated_fault` columns.
+    Fault {
+        /// The round the fault landed in.
+        round: u64,
+        /// Fault class: `"crash"`, `"restart"`, `"perturb"`,
+        /// `"drop_window"`, `"dup_window"` or `"partition"`.
+        kind: String,
+        /// Human-readable parameters (victim id, rate, window).
+        detail: String,
+    },
+    /// The watchdog's final classification of a recovery watch
+    /// (`faults::watch_recovery`).
+    Verdict {
+        /// The round the verdict was reached at.
+        round: u64,
+        /// `"recovered"`, `"disconnected"` or `"budget_exhausted"`.
+        outcome: String,
+        /// Root cause / parameters (e.g. the culprit drop for a
+        /// permanent disconnection).
+        detail: String,
+    },
     /// Emitted when the sink is detached: run totals and the four
     /// online histograms.
     Summary {

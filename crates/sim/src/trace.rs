@@ -22,7 +22,15 @@ pub struct RoundStats {
     /// Messages whose destination no longer exists (possible during
     /// churn) and whose payload is safely stored elsewhere; they are
     /// dropped.
-    pub dropped: u64,
+    pub dropped_churn: u64,
+    /// Messages destroyed by the fault injector (loss rate, partition
+    /// cut, or a crashed destination). Unlike churn drops, the payload
+    /// is *not* known to be stored elsewhere — a fault drop may sever
+    /// the sole carrier of an identifier (see `swn_sim::faults`).
+    pub dropped_fault: u64,
+    /// Extra copies created by the fault injector's duplication rate.
+    /// Counted on top of `sent` (the original is counted there).
+    pub duplicated_fault: u64,
     /// `lin` messages to a departed destination that were handed back to
     /// their sender for reprocessing (the payload named a live node, so
     /// the message may be its sole carrier). Not drops: the payload stays
@@ -74,6 +82,12 @@ impl RoundStats {
     /// Records a delivery.
     pub fn count_delivered(&mut self, kind: MessageKind) {
         self.delivered[kind.index()] += 1;
+    }
+
+    /// Total messages dropped this round, from either cause (churn
+    /// departures or injected faults).
+    pub fn dropped(&self) -> u64 {
+        self.dropped_churn + self.dropped_fault
     }
 
     /// Folds a protocol event into the counters.
@@ -140,9 +154,26 @@ impl Trace {
         self.rounds.iter().map(|r| r.bounced).sum()
     }
 
-    /// Total messages dropped over the whole run.
+    /// Total messages dropped over the whole run, from either cause.
     pub fn total_dropped(&self) -> u64 {
-        self.rounds.iter().map(|r| r.dropped).sum()
+        self.rounds.iter().map(RoundStats::dropped).sum()
+    }
+
+    /// Total churn-induced drops (message to a departed destination
+    /// whose payload is safely stored elsewhere).
+    pub fn total_dropped_churn(&self) -> u64 {
+        self.rounds.iter().map(|r| r.dropped_churn).sum()
+    }
+
+    /// Total fault-injected drops (loss rate, partition cut, crashed
+    /// destination — see `swn_sim::faults`).
+    pub fn total_dropped_fault(&self) -> u64 {
+        self.rounds.iter().map(|r| r.dropped_fault).sum()
+    }
+
+    /// Total fault-injected duplicate copies over the whole run.
+    pub fn total_duplicated_fault(&self) -> u64 {
+        self.rounds.iter().map(|r| r.duplicated_fault).sum()
     }
 
     /// Total probe repairs over the whole run.

@@ -1,0 +1,75 @@
+//! Property test: the sorted ring is *closed* under fault-free execution.
+//!
+//! Theorem 4.3's closure half: once the network forms the sorted ring,
+//! every subsequent regular/receive action preserves it — linearization
+//! has nothing left to move, probing never crosses a gap, and the only
+//! state that keeps evolving is the long-range token's random walk. The
+//! fault engine (`swn_sim::faults`) leans on this: its recovery watchdog
+//! treats "sorted ring holds" as an absorbing predicate between injected
+//! faults, which is only sound if no fault-free round can break it.
+//!
+//! Randomized here over ring sizes, seeds and run lengths:
+//!
+//! 1. `is_sorted_ring_view` holds after **every** round, not just at the
+//!    end — a transient wobble (a round that breaks and then repairs the
+//!    ring) would invalidate the watchdog's `links_changed`-gated
+//!    re-checks even if the final state looks fine.
+//! 2. The move-and-forget rule is the *only* way a long-range link is
+//!    forgotten: φ(α) = 0 for α < 3, so every forget event recorded in
+//!    the trace happened at age ≥ 3 (`forget_age_sum ≥ 3·lrl_forgets`
+//!    per round). A forget outside that rule (e.g. a handler resetting
+//!    `lrl` on a spurious code path) shows up as an under-aged event.
+
+use proptest::prelude::*;
+use swn_core::config::ProtocolConfig;
+use swn_core::invariants::is_sorted_ring_view;
+use swn_sim::churn::stable_network;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn stabilized_rings_stay_sorted_and_only_forget_by_the_rule(
+        n in 4usize..40,
+        seed in 0u64..1_000_000,
+        rounds in 20u64..120,
+    ) {
+        let mut net = stable_network(n, ProtocolConfig::default(), seed, 0);
+        prop_assert!(
+            is_sorted_ring_view(&net.view()),
+            "seed ring must start sorted (n={n}, seed={seed})"
+        );
+        let start = net.trace().len();
+        for k in 0..rounds {
+            net.step();
+            prop_assert!(
+                is_sorted_ring_view(&net.view()),
+                "sorted ring broke at round {k} of {rounds} (n={n}, seed={seed})"
+            );
+        }
+        // Every forget in the run obeyed the move-and-forget rule: the
+        // forget probability is zero below age 3, so per round the age
+        // sum is at least 3 per event. Checked per round (not in
+        // aggregate) so one under-aged forget cannot hide behind an old
+        // link forgotten the same round.
+        for (k, r) in net.trace().rounds()[start..].iter().enumerate() {
+            if r.lrl_forgets > 0 {
+                prop_assert!(
+                    r.forget_age_sum >= 3 * r.lrl_forgets,
+                    "round {k}: {} forgets with age sum {} — some link was \
+                     forgotten below age 3, outside the move-and-forget rule",
+                    r.lrl_forgets,
+                    r.forget_age_sum
+                );
+            } else {
+                prop_assert_eq!(
+                    r.forget_age_sum, 0,
+                    "round {}: forget ages recorded without forget events", k
+                );
+            }
+            // Fault-free runs must never count fault drops.
+            prop_assert_eq!(r.dropped_fault, 0);
+            prop_assert_eq!(r.duplicated_fault, 0);
+        }
+    }
+}

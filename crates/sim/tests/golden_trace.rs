@@ -263,6 +263,28 @@ fn event_digest(records: &[Record]) -> u64 {
                 d.push(*start);
                 d.push(*end);
             }
+            // Never emitted on fault-free runs, so the golden digests are
+            // unchanged; hashed anyway so fault scenarios can pin streams.
+            Event::Fault {
+                round,
+                kind,
+                detail,
+            } => {
+                d.push(7);
+                d.push(*round);
+                push_str(&mut d, kind);
+                push_str(&mut d, detail);
+            }
+            Event::Verdict {
+                round,
+                outcome,
+                detail,
+            } => {
+                d.push(8);
+                d.push(*round);
+                push_str(&mut d, outcome);
+                push_str(&mut d, detail);
+            }
             Event::Summary {
                 rounds,
                 total_sent,
