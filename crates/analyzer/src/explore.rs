@@ -32,6 +32,7 @@
 
 use crate::state::{Key, PredVector, State, Transition, Violation};
 use crate::stepper::{Policy, Stepper};
+// lint: allow(determinism) — fingerprint-keyed tables; iteration order is never observed.
 use std::collections::HashMap;
 use swn_core::id::NodeId;
 use swn_core::message::Message;
@@ -43,7 +44,7 @@ use swn_core::message::Message;
 /// at 128 bits the probability across 10^7 states is ~10^-25, far below
 /// any hardware error rate, so the search is exhaustive for all
 /// practical purposes.
-fn fingerprint(key: &Key) -> u128 {
+pub fn fingerprint(key: &Key) -> u128 {
     const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
     const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
     let mut h = OFFSET;
@@ -76,6 +77,13 @@ pub struct ExploreConfig {
     pub max_states: usize,
     /// Abort a branch (mark `truncated`) beyond this schedule length.
     pub max_depth: usize,
+    /// Memoize by the canonical symmetry key ([`crate::symmetry`]) instead
+    /// of the raw state key: id-rank renaming plus age saturation. Sound
+    /// for both policies (see the symmetry module docs) and composes with
+    /// the sleep sets and the hash compaction; it merges states that
+    /// differ only in ages past the forget threshold or in node storage
+    /// order.
+    pub symmetry: bool,
 }
 
 impl Default for ExploreConfig {
@@ -87,6 +95,7 @@ impl Default for ExploreConfig {
             // Also bounds recursion depth; small-scope schedules stay far
             // below this, it only guards against runaway fixtures.
             max_depth: 2_000,
+            symmetry: false,
         }
     }
 }
@@ -168,11 +177,11 @@ pub struct Explorer<'a> {
     /// explored under. An entry that is a subset of the current sleep set
     /// means a strictly larger set of transitions was already explored
     /// from here.
-    visited: HashMap<u128, Vec<Vec<Transition>>>,
+    visited: HashMap<u128, Vec<Vec<Transition>>>, // lint: allow(determinism) — keyed lookup only.
     /// Predicate vectors are pure functions of the configuration; cache
     /// them by fingerprint so converging schedules evaluate each state
     /// once.
-    pred_cache: HashMap<u128, PredVector>,
+    pred_cache: HashMap<u128, PredVector>, // lint: allow(determinism) — keyed lookup only.
     transitions_executed: usize,
     coalesced_sends: usize,
     quiescent_states: usize,
@@ -186,8 +195,8 @@ impl<'a> Explorer<'a> {
         Explorer {
             stepper,
             cfg,
-            visited: HashMap::new(),
-            pred_cache: HashMap::new(),
+            visited: HashMap::new(), // lint: allow(determinism) — keyed lookup only.
+            pred_cache: HashMap::new(), // lint: allow(determinism) — keyed lookup only.
             transitions_executed: 0,
             coalesced_sends: 0,
             quiescent_states: 0,
@@ -196,9 +205,18 @@ impl<'a> Explorer<'a> {
         }
     }
 
+    /// Fingerprint under the configured key scheme (raw or canonical).
+    fn fp_of(&self, s: &State) -> u128 {
+        if self.cfg.symmetry {
+            fingerprint(&crate::symmetry::canonical_key(s, true))
+        } else {
+            fingerprint(&s.key())
+        }
+    }
+
     /// Exhaustively explores every schedule from `initial`.
     pub fn run(mut self, initial: &State) -> ExploreReport {
-        let fp0 = fingerprint(&initial.key());
+        let fp0 = self.fp_of(initial);
         let pred0 = self.eval_cached(fp0, initial);
         let mut path = Vec::new();
         let violation = self.dfs(initial, fp0, pred0, &[], &mut path, 0);
@@ -289,7 +307,7 @@ impl<'a> Explorer<'a> {
             self.transitions_executed += 1;
             self.coalesced_sends += applied.coalesced_sends as usize;
             path.push(t.clone());
-            let next_fp = fingerprint(&next.key());
+            let next_fp = self.fp_of(&next);
             let pred_next = self.eval_cached(next_fp, &next);
             let found = self
                 .check_transition(pred, pred_next, &applied.violations, path)

@@ -82,6 +82,51 @@ pub fn demo_fault_state(budget: u32) -> State {
     State::initial(nodes, &[(ids[0], Message::Lin(ids[1]))], budget)
 }
 
+/// The fixture behind `analyzer --mutant bounce-lin`: three nodes
+/// `a < b < c` where `a` and `c` already know each other (`a.r = c`,
+/// `c.l = a`) and the middle node `b` is fresh — its only connection to
+/// the rest is a `lin(b)` in flight to `a`. The real protocol adopts `b`
+/// on delivery and converges to the ring; under
+/// [`BounceLinStepper`](crate::stepper::BounceLinStepper) the message
+/// bounces `a → c → a → …` forever while every safety monitor stays
+/// green — the minimal convergence (fair-cycle) counterexample.
+pub fn livelock_demo_state() -> State {
+    let ids = evenly_spaced_ids(3);
+    let cfg = ProtocolConfig::default();
+    use swn_core::id::Extended;
+    let nodes = vec![
+        Node::with_state(
+            ids[0],
+            Extended::NegInf,
+            Extended::Fin(ids[2]),
+            ids[0],
+            None,
+            cfg,
+        ),
+        Node::new(ids[1], cfg),
+        Node::with_state(
+            ids[2],
+            Extended::Fin(ids[0]),
+            Extended::PosInf,
+            ids[2],
+            None,
+            cfg,
+        ),
+    ];
+    State::initial(nodes, &[(ids[0], Message::Lin(ids[1]))], 0)
+}
+
+/// The canonical sorted-ring configuration on `n` evenly spaced ids with
+/// empty channels and `budget` regular actions per node — the seed of
+/// the closure check (`--mode closure`): every state reachable from
+/// here, through any interleaving of the ring's own chatter, must still
+/// be the ring.
+pub fn ring_state(n: usize, budget: u32) -> State {
+    let ids = evenly_spaced_ids(n);
+    let nodes = swn_core::invariants::make_sorted_ring(&ids, ProtocolConfig::default());
+    State::initial(nodes, &[], budget)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

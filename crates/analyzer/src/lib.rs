@@ -55,12 +55,23 @@
 
 pub mod explore;
 pub mod families;
+pub mod liveness;
 pub mod minimize;
+pub mod ranking;
 pub mod state;
 pub mod stepper;
+pub mod symmetry;
 
 pub use explore::{ExploreConfig, ExploreReport, Explorer, FoundViolation, Reduction};
 pub use families::Family;
-pub use minimize::{format_trace, minimize, replay};
+pub use liveness::{
+    check_closure, check_convergence, check_ranking, replay_states, validate_lasso, ClosureReport,
+    ConvergenceReport, FairGraph, Lasso, RankingReport,
+};
+pub use minimize::{format_trace, minimize, minimize_lasso, minimize_with, replay};
+pub use ranking::{rank_of, Rank, GOAL_RANK};
 pub use state::{PredVector, State, Transition, Violation};
-pub use stepper::{DropLinStepper, Policy, PolicyRng, RealStepper, SelfEchoStepper, Stepper};
+pub use stepper::{
+    BounceLinStepper, DropLinStepper, Policy, PolicyRng, RealStepper, SelfEchoStepper, Stepper,
+};
+pub use symmetry::{canonical_key, AGE_SATURATION};

@@ -1,0 +1,894 @@
+//! Liveness model checking: fair-cycle (livelock) detection, closure and
+//! the ranking certificate, over the budgeted [`State`]/[`Stepper`]
+//! graph.
+//!
+//! The safety explorer proves *monotonicity*: once a phase predicate
+//! holds it never un-holds. That says nothing about whether executions
+//! ever *reach* the sorted ring — a protocol that loops forever without
+//! making progress passes every safety monitor. This module closes that
+//! gap within the same small scope.
+//!
+//! **The graph.** Liveness runs on the very transition system the
+//! safety search explores: per-node regular-action budgets, set-semantics
+//! channels, one graph per randomness [`Policy`]. Budgets are what make
+//! the graph finite, and they interact with fairness exactly right
+//! rather than being an obstacle: a regular action strictly decreases
+//! its node's budget, so **every cycle is delivery-only**, and on any
+//! cycle where some node still has budget that node's regular action is
+//! continuously enabled but never taken — the cycle is not weakly fair
+//! and is correctly discarded. The fair cycles that remain are genuine
+//! livelocks: message exchanges that sustain themselves forever.
+//!
+//! **Fairness.** An infinite execution is *weakly fair* when every
+//! action that is continuously enabled is eventually taken: a budgeted
+//! regular action stays enabled until taken, and a pending delivery
+//! stays enabled until delivered (handlers only append to channels). In
+//! a finite graph every infinite execution settles into one SCC,
+//! visiting a subset of it infinitely often; a weakly fair one must take
+//! every action enabled in *all* states it keeps visiting. Hence the
+//! detector's SCC criterion: an SCC `C` supports a fair cycle iff every
+//! action enabled in **every** state of `C` (the *obligations*) is
+//! taken by some edge internal to `C`. If an obligation has no internal
+//! edge, any run staying inside `C` starves a continuously enabled
+//! action — not fair; conversely a tour of all of `C` taking each
+//! obligation edge is a concrete fair lasso cycle, which
+//! [`validate_lasso`] re-checks by replay, independently of the graph.
+//!
+//! **Convergence** (`--mode liveness`) reports two facts per scope:
+//! no fair SCC contains a non-goal state (goal = `is_sorted_ring`) —
+//! livelock-freedom, the genuinely new liveness content — and how many
+//! terminal (quiescent) states are goal vs. budget-starved. A terminal
+//! non-goal state means the scope's budget ran out mid-stabilization,
+//! which is a scope artifact, reported separately and *not* conflated
+//! with a livelock. A livelock violation is reported as a minimized
+//! lasso — stem from the BFS tree, cycle from an obligation-covering
+//! tour — and replayed before it is believed.
+//!
+//! **Closure** (`--mode closure`) is the dual: from the canonical
+//! sorted-ring state with a fresh budget, every reachable state must
+//! still be sorted-ring — the ring's self-inflicted chatter (token
+//! walk, adverts, probes and their responses) never degrades the
+//! pointer structure. The stricter `is_ring_stable_config` (ring *plus*
+//! only declared benign traffic) is tallied alongside.
+//!
+//! **Ranking** (`--mode ranking`) checks the certificate of
+//! [`crate::ranking`]: the potential is non-increasing on every edge,
+//! goal states sit at [`GOAL_RANK`](crate::ranking::GOAL_RANK), and the
+//! equal-rank (stutter) subgraph supports no fair cycle through a
+//! non-goal state. Since a cycle of a non-increasing potential is
+//! rank-constant, those three local checks are exactly what a ranking
+//! argument for convergence owes within the scope — and the per-edge
+//! part is a transition-local property whose validity is independent of
+//! the budget that bounded the search.
+//!
+//! States are identified by the canonical symmetry key of
+//! [`crate::symmetry`] (id-rank renaming, age saturation), so the graph
+//! is the symmetry quotient; a violation found in the quotient replays
+//! concretely because steppers and handlers are order-, not
+//! value-sensitive in identifiers.
+
+use crate::explore::fingerprint;
+use crate::minimize::{minimize_lasso, minimize_with};
+use crate::ranking::{rank_of, Rank, GOAL_RANK};
+use crate::state::{decode_msg, msg_code, State, Transition};
+use crate::stepper::{Policy, Stepper};
+use crate::symmetry::canonical_key;
+// lint: allow(determinism) — fingerprint-keyed lookup tables; iteration order is never observed.
+use std::collections::{HashMap, VecDeque};
+use swn_core::invariants::{is_ring_stable_config, is_sorted_ring};
+use swn_core::views::Snapshot;
+
+/// Packs a transition into a `u64` edge label. Labels are stable across
+/// the whole graph (the node vector's order never changes), so equal
+/// labels on different states are the *same action* — which is exactly
+/// what the fairness obligations compare.
+pub fn pack_label(s: &State, t: &Transition) -> u64 {
+    match *t {
+        Transition::Regular { node } => node as u64,
+        Transition::Deliver { dest, ref msg } => {
+            let [k, a, b] = msg_code(&s.nodes, msg);
+            (1 << 32) | ((dest as u64) << 24) | (k << 16) | (a << 8) | b
+        }
+    }
+}
+
+/// Inverse of [`pack_label`].
+pub fn unpack_label(s: &State, label: u64) -> Transition {
+    if label & (1 << 32) == 0 {
+        Transition::Regular {
+            node: usize::try_from(label).expect("packed node index"),
+        }
+    } else {
+        let dest = usize::try_from((label >> 24) & 0xff).expect("packed dest index");
+        let code = [(label >> 16) & 0xff, (label >> 8) & 0xff, label & 0xff];
+        Transition::Deliver {
+            dest,
+            msg: decode_msg(&s.nodes, code),
+        }
+    }
+}
+
+/// Fingerprint of the canonical symmetry key, budgets included — the
+/// budget vector is part of the budgeted model's state, and a lasso
+/// cycle closes only when it returns with budgets intact (which forces
+/// cycles to be delivery-only, as they must be).
+fn graph_fp(s: &State) -> u128 {
+    fingerprint(&canonical_key(s, true))
+}
+
+/// The explicit state graph liveness analyses run on: every reachable
+/// canonical state of the budgeted model with every enabled transition
+/// as a labelled edge.
+pub struct FairGraph {
+    /// The root configuration, budgets included — they bound the scope.
+    pub initial: State,
+    /// Randomness policy the graph was built under.
+    pub policy: Policy,
+    /// `edges[v]` = `(label, target)` for every enabled transition of
+    /// `v`; the out-label set of `v` *is* its enabled set.
+    pub edges: Vec<Vec<(u64, u32)>>,
+    /// BFS tree: `(parent, label)` per state; the root points at itself.
+    pub parent: Vec<(u32, u64)>,
+    /// `is_sorted_ring` per state — the liveness goal.
+    pub goal: Vec<bool>,
+    /// `is_ring_stable_config` per state — ring plus only declared
+    /// benign chatter (the closure-mode refinement).
+    pub stable: Vec<bool>,
+    /// Ranking potential per state.
+    pub rank: Vec<Rank>,
+    /// True once the state's full out-edge list is in `edges`. An
+    /// unexpanded state (truncation frontier) has no out-edges *in the
+    /// graph* but is not terminal in the model.
+    pub expanded: Vec<bool>,
+    /// True when `max_states` stopped the construction; every analysis
+    /// on a truncated graph is reported as non-exhaustive.
+    pub truncated: bool,
+}
+
+impl FairGraph {
+    /// Breadth-first construction of the reachable quotient of the
+    /// budgeted model under `stepper` and `policy`.
+    pub fn build(
+        initial: &State,
+        stepper: &dyn Stepper,
+        policy: Policy,
+        max_states: usize,
+    ) -> FairGraph {
+        let mut g = FairGraph {
+            initial: initial.clone(),
+            policy,
+            edges: Vec::new(),
+            parent: Vec::new(),
+            goal: Vec::new(),
+            stable: Vec::new(),
+            rank: Vec::new(),
+            expanded: Vec::new(),
+            truncated: false,
+        };
+        // lint: allow(determinism) — lookup-only fingerprint table.
+        let mut index: HashMap<u128, u32> = HashMap::new();
+        let mut queue: VecDeque<(u32, State)> = VecDeque::new();
+        index.insert(graph_fp(initial), 0);
+        g.push_state(initial);
+        g.parent.push((0, u64::MAX));
+        queue.push_back((0, initial.clone()));
+        'bfs: while let Some((v, s)) = queue.pop_front() {
+            for t in s.enabled() {
+                let a = s
+                    .apply(stepper, policy, &t)
+                    .expect("enabled transitions apply");
+                let fp = graph_fp(&a.next);
+                let label = pack_label(&s, &t);
+                let w = if let Some(&w) = index.get(&fp) {
+                    w
+                } else {
+                    if g.edges.len() >= max_states {
+                        g.truncated = true;
+                        // Drop the partial expansion: a state with only
+                        // *some* of its out-edges would under-approximate
+                        // its enabled set, and the fairness obligations
+                        // (= intersection of enabled sets) would be
+                        // unsound. With the partial list cleared, `v` is
+                        // a dead end and can never join a cycle, so every
+                        // SCC the sweep reports is built purely from
+                        // fully-expanded states — a violation found in a
+                        // truncated graph is still a real fair lasso.
+                        g.edges[v as usize].clear();
+                        break 'bfs;
+                    }
+                    // max_states bounds the graph well under u32::MAX.
+                    #[allow(clippy::cast_possible_truncation)]
+                    let w = g.edges.len() as u32;
+                    index.insert(fp, w);
+                    g.push_state(&a.next);
+                    g.parent.push((v, label));
+                    queue.push_back((w, a.next));
+                    w
+                };
+                g.edges[v as usize].push((label, w));
+            }
+            g.expanded[v as usize] = true;
+        }
+        g
+    }
+
+    fn push_state(&mut self, s: &State) {
+        let snap = Snapshot::new(s.nodes.clone(), s.channels.clone());
+        self.goal.push(is_sorted_ring(&snap));
+        self.stable.push(is_ring_stable_config(&snap));
+        self.rank.push(rank_of(&snap));
+        self.expanded.push(false);
+        self.edges.push(Vec::new());
+    }
+
+    /// True when `v` is quiescent in the *model* — fully expanded with
+    /// no enabled transition (budgets spent, channels drained) — as
+    /// opposed to an unexpanded truncation-frontier state.
+    pub fn is_terminal(&self, v: u32) -> bool {
+        self.expanded[v as usize] && self.edges[v as usize].is_empty()
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the graph holds no states (never after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// The BFS-tree schedule from the root to `v`.
+    pub fn stem_to(&self, v: u32) -> Vec<Transition> {
+        let mut labels = Vec::new();
+        let mut cur = v;
+        while cur != 0 {
+            let (p, label) = self.parent[cur as usize];
+            labels.push(label);
+            cur = p;
+        }
+        labels.reverse();
+        labels
+            .into_iter()
+            .map(|l| unpack_label(&self.initial, l))
+            .collect()
+    }
+}
+
+/// Iterative Tarjan: strongly connected components of `edges`.
+/// Returns the component id per vertex (ids in reverse topological
+/// order of discovery) and the component count.
+fn tarjan(edges: &[Vec<(u64, u32)>]) -> (Vec<u32>, u32) {
+    const UNSET: u32 = u32::MAX;
+    let n = edges.len();
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut comp = vec![UNSET; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comp_count = 0u32;
+    // Vertex ids are u32 by construction (max_states bounds the graph).
+    #[allow(clippy::cast_possible_truncation)]
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&(v, ei)) = call.last() {
+            let vu = v as usize;
+            if ei == 0 {
+                index[vu] = next_index;
+                lowlink[vu] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vu] = true;
+            }
+            if let Some(&(_, w)) = edges[vu].get(ei) {
+                call.last_mut().expect("nonempty").1 += 1;
+                let wu = w as usize;
+                if index[wu] == UNSET {
+                    call.push((w, 0));
+                } else if on_stack[wu] {
+                    lowlink[vu] = lowlink[vu].min(index[wu]);
+                }
+            } else {
+                if lowlink[vu] == index[vu] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = comp_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+                call.pop();
+                if let Some(&(u, _)) = call.last() {
+                    let uu = u as usize;
+                    lowlink[uu] = lowlink[uu].min(lowlink[vu]);
+                }
+            }
+        }
+    }
+    (comp, comp_count)
+}
+
+/// Sorted, deduplicated out-label set of `v` — its enabled actions.
+fn out_labels(edges: &[Vec<(u64, u32)>], v: u32) -> Vec<u64> {
+    let mut ls: Vec<u64> = edges[v as usize].iter().map(|e| e.0).collect();
+    ls.sort_unstable();
+    ls.dedup();
+    ls
+}
+
+/// A fair SCC containing a non-goal state, with everything lasso
+/// construction needs.
+struct FairBadScc {
+    /// Members of the component.
+    members: Vec<u32>,
+    /// Actions enabled in every member (must all appear on internal
+    /// cycle edges for the component to be fair).
+    obligations: Vec<u64>,
+    /// A non-goal member with the smallest BFS index (shortest stem).
+    bad: u32,
+}
+
+/// Outcome of the SCC sweep over one candidate cycle-edge relation.
+struct SccSweep {
+    comp_count: usize,
+    max_size: usize,
+    /// Nontrivial components whose obligations are all internally
+    /// available — each supports a fair cycle.
+    fair_nontrivial: usize,
+    /// The first (shallowest witness) fair component with a non-goal
+    /// state, if any.
+    violation: Option<FairBadScc>,
+}
+
+/// SCC + fairness sweep. `cycle_edges` is the relation cycles may use
+/// (the full graph for convergence, the equal-rank subgraph for the
+/// stutter check); `full_edges` always supplies the enabled sets for the
+/// obligations — fairness is about what *could* fire, not what the
+/// restricted relation kept.
+fn sweep_fair_sccs(
+    cycle_edges: &[Vec<(u64, u32)>],
+    full_edges: &[Vec<(u64, u32)>],
+    goal: &[bool],
+) -> SccSweep {
+    let (comp, comp_count) = tarjan(cycle_edges);
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); comp_count as usize];
+    // Vertex ids are u32 by construction (max_states bounds the graph).
+    #[allow(clippy::cast_possible_truncation)]
+    for v in 0..comp.len() as u32 {
+        members[comp[v as usize] as usize].push(v);
+    }
+    let mut sweep = SccSweep {
+        comp_count: comp_count as usize,
+        max_size: members.iter().map(Vec::len).max().unwrap_or(0),
+        fair_nontrivial: 0,
+        violation: None,
+    };
+    for (cid, ms) in members.iter().enumerate() {
+        let nontrivial =
+            ms.len() > 1 || cycle_edges[ms[0] as usize].iter().any(|&(_, w)| w == ms[0]);
+        if !nontrivial {
+            continue;
+        }
+        let mut obligations = out_labels(full_edges, ms[0]);
+        for &v in &ms[1..] {
+            let here = out_labels(full_edges, v);
+            obligations.retain(|l| here.binary_search(l).is_ok());
+            if obligations.is_empty() {
+                break;
+            }
+        }
+        let internal: Vec<u64> = {
+            let mut ls: Vec<u64> = ms
+                .iter()
+                .flat_map(|&v| cycle_edges[v as usize].iter())
+                .filter(|&&(_, w)| comp[w as usize] as usize == cid)
+                .map(|&(l, _)| l)
+                .collect();
+            ls.sort_unstable();
+            ls.dedup();
+            ls
+        };
+        let fair = obligations
+            .iter()
+            .all(|l| internal.binary_search(l).is_ok());
+        if !fair {
+            continue;
+        }
+        sweep.fair_nontrivial += 1;
+        if let Some(&bad) = ms.iter().filter(|&&v| !goal[v as usize]).min() {
+            let better = sweep.violation.as_ref().is_none_or(|prev| bad < prev.bad);
+            if better {
+                sweep.violation = Some(FairBadScc {
+                    members: ms.clone(),
+                    obligations,
+                    bad,
+                });
+            }
+        }
+    }
+    sweep
+}
+
+/// Shortest path inside one component of `cycle_edges` from `from` to
+/// `to` (`from == to` gives the empty path), as `(label, target)` hops.
+fn path_within(
+    cycle_edges: &[Vec<(u64, u32)>],
+    members: &[u32],
+    from: u32,
+    to: u32,
+) -> Vec<(u64, u32)> {
+    if from == to {
+        return Vec::new();
+    }
+    // lint: allow(determinism) — membership + BFS parent lookups only.
+    let mut parent: HashMap<u32, (u32, u64)> = HashMap::new();
+    let member = |v: u32| members.binary_search(&v).is_ok();
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    'bfs: while let Some(v) = queue.pop_front() {
+        for &(l, w) in &cycle_edges[v as usize] {
+            if !member(w) || w == from || parent.contains_key(&w) {
+                continue;
+            }
+            parent.insert(w, (v, l));
+            if w == to {
+                break 'bfs;
+            }
+            queue.push_back(w);
+        }
+    }
+    let mut hops = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let &(p, l) = parent
+            .get(&cur)
+            .expect("SCC members are mutually reachable");
+        hops.push((l, cur));
+        cur = p;
+    }
+    hops.reverse();
+    hops
+}
+
+/// A concrete non-converging fair execution: finite `stem` from the
+/// initial state, then `cycle` repeated forever.
+#[derive(Clone, Debug)]
+pub struct Lasso {
+    /// Schedule from the initial state to the cycle's anchor state.
+    pub stem: Vec<Transition>,
+    /// Schedule that returns to the anchor, is weakly fair, and visits a
+    /// non-goal state.
+    pub cycle: Vec<Transition>,
+}
+
+/// Builds a concrete cycle through `scc.bad`: a tour visiting **every**
+/// member (so any action enabled on the whole tour is enabled on the
+/// whole component, i.e. an obligation) and taking every obligation
+/// edge, closed back to the anchor.
+fn build_cycle(cycle_edges: &[Vec<(u64, u32)>], scc: &FairBadScc) -> Vec<(u64, u32)> {
+    fn append_hops(seq: &mut Vec<(u64, u32)>, cur: &mut u32, hops: Vec<(u64, u32)>) {
+        for (l, w) in hops {
+            *cur = w;
+            seq.push((l, w));
+        }
+    }
+    let mut members = scc.members.clone();
+    members.sort_unstable();
+    let anchor = scc.bad;
+    let mut seq: Vec<(u64, u32)> = Vec::new();
+    let mut cur = anchor;
+    for &m in &members {
+        let hops = path_within(cycle_edges, &members, cur, m);
+        append_hops(&mut seq, &mut cur, hops);
+    }
+    for &obl in &scc.obligations {
+        if seq.iter().any(|&(l, _)| l == obl) {
+            continue;
+        }
+        let (src, tgt) = members
+            .iter()
+            .find_map(|&v| {
+                cycle_edges[v as usize]
+                    .iter()
+                    .find(|&&(l, w)| l == obl && members.binary_search(&w).is_ok())
+                    .map(|&(_, w)| (v, w))
+            })
+            .expect("fair SCC has an internal edge per obligation");
+        let hops = path_within(cycle_edges, &members, cur, src);
+        append_hops(&mut seq, &mut cur, hops);
+        append_hops(&mut seq, &mut cur, vec![(obl, tgt)]);
+    }
+    let hops = path_within(cycle_edges, &members, cur, anchor);
+    append_hops(&mut seq, &mut cur, hops);
+    if seq.is_empty() {
+        // Single state with a self-loop: the loop is the cycle.
+        let &(l, w) = cycle_edges[anchor as usize]
+            .iter()
+            .find(|&&(_, w)| w == anchor)
+            .expect("nontrivial singleton has a self-loop");
+        seq.push((l, w));
+    }
+    seq
+}
+
+/// Replays `trace`, returning every configuration along the way
+/// (`result[0]` is `initial`); `None` when a transition is not enabled.
+pub fn replay_states(
+    initial: &State,
+    stepper: &dyn Stepper,
+    policy: Policy,
+    trace: &[Transition],
+) -> Option<Vec<State>> {
+    let mut states = vec![initial.clone()];
+    for t in trace {
+        let a = states.last().expect("nonempty").apply(stepper, policy, t)?;
+        states.push(a.next);
+    }
+    Some(states)
+}
+
+/// Replay-validates a lasso independently of the graph: the stem
+/// replays, the cycle replays and returns to its anchor (canonical
+/// symmetry key, budgets included), visits a non-goal state, and is
+/// weakly fair — every action enabled in all of its states is taken by
+/// it. Budget equality at the anchor means a valid cycle spends no
+/// budget, i.e. it is delivery-only.
+pub fn validate_lasso(
+    initial: &State,
+    stepper: &dyn Stepper,
+    policy: Policy,
+    stem: &[Transition],
+    cycle: &[Transition],
+) -> bool {
+    if cycle.is_empty() {
+        return false;
+    }
+    let Some(stem_states) = replay_states(initial, stepper, policy, stem) else {
+        return false;
+    };
+    let anchor = stem_states.last().expect("nonempty");
+    let Some(cycle_states) = replay_states(anchor, stepper, policy, cycle) else {
+        return false;
+    };
+    if graph_fp(cycle_states.last().expect("nonempty")) != graph_fp(anchor) {
+        return false;
+    }
+    let on_cycle = &cycle_states[..cycle_states.len() - 1];
+    let some_non_goal = on_cycle
+        .iter()
+        .any(|s| !is_sorted_ring(&Snapshot::new(s.nodes.clone(), s.channels.clone())));
+    if !some_non_goal {
+        return false;
+    }
+    let mut obligations = out_label_set_of(initial, &on_cycle[0]);
+    for s in &on_cycle[1..] {
+        let here = out_label_set_of(initial, s);
+        obligations.retain(|l| here.binary_search(l).is_ok());
+    }
+    let taken: Vec<u64> = cycle.iter().map(|t| pack_label(initial, t)).collect();
+    obligations.iter().all(|l| taken.contains(l))
+}
+
+/// Sorted enabled-action labels of `s` (labels are node-vector relative,
+/// so any state of the run can carry the encoding context).
+fn out_label_set_of(ctx: &State, s: &State) -> Vec<u64> {
+    let mut ls: Vec<u64> = s.enabled().iter().map(|t| pack_label(ctx, t)).collect();
+    ls.sort_unstable();
+    ls.dedup();
+    ls
+}
+
+/// Verdict of the convergence (fair-cycle) analysis.
+#[derive(Clone, Debug)]
+pub struct ConvergenceReport {
+    /// Reachable states of the budgeted model.
+    pub states: usize,
+    /// Edges of the graph.
+    pub edges: usize,
+    /// True when the state cap stopped construction (no verdict).
+    pub truncated: bool,
+    /// States satisfying the goal predicate.
+    pub goal_states: usize,
+    /// Terminal (quiescent) states: budgets spent, channels drained.
+    pub terminals: usize,
+    /// Terminal states that are *not* the sorted ring — executions the
+    /// scope's budget cut off mid-stabilization. A scope artifact, kept
+    /// apart from livelocks: growing the budget shrinks this number,
+    /// while a livelock survives every budget.
+    pub terminal_nongoal: usize,
+    /// Strongly connected components.
+    pub scc_count: usize,
+    /// Largest component size.
+    pub max_scc: usize,
+    /// Nontrivial components supporting a fair cycle.
+    pub fair_sccs: usize,
+    /// A minimized, replay-validated non-converging lasso, if any.
+    pub counterexample: Option<Lasso>,
+}
+
+impl ConvergenceReport {
+    /// True when the analysis was exhaustive and found no fair cycle
+    /// through a non-goal state: no execution in scope can loop forever
+    /// outside the sorted ring.
+    pub fn livelock_free(&self) -> bool {
+        !self.truncated && self.counterexample.is_none()
+    }
+
+    /// [`Self::livelock_free`] *and* every quiescent execution actually
+    /// reached the ring — the strongest convergence statement the scope
+    /// supports (it fails when the budget is too small to finish
+    /// stabilizing, not only when the protocol is wrong).
+    pub fn converges(&self) -> bool {
+        self.livelock_free() && self.terminal_nongoal == 0
+    }
+}
+
+/// Runs the fair-cycle detector over a built graph.
+///
+/// # Panics
+/// Panics if an extracted counterexample fails replay validation — that
+/// would mean the detector and the protocol semantics disagree, which is
+/// a checker bug, never a protocol bug.
+pub fn check_convergence(g: &FairGraph, stepper: &dyn Stepper) -> ConvergenceReport {
+    let sweep = sweep_fair_sccs(&g.edges, &g.edges, &g.goal);
+    let counterexample = sweep.violation.as_ref().map(|scc| {
+        let lasso = extract_lasso(g, stepper, &g.edges, scc);
+        assert!(
+            validate_lasso(&g.initial, stepper, g.policy, &lasso.stem, &lasso.cycle),
+            "minimized lasso must replay as a fair non-goal cycle"
+        );
+        lasso
+    });
+    // Vertex ids are u32 by construction (max_states bounds the graph).
+    #[allow(clippy::cast_possible_truncation)]
+    let terminal: Vec<u32> = (0..g.len() as u32).filter(|&v| g.is_terminal(v)).collect();
+    ConvergenceReport {
+        states: g.len(),
+        edges: g.edge_count(),
+        truncated: g.truncated,
+        goal_states: g.goal.iter().filter(|&&b| b).count(),
+        terminals: terminal.len(),
+        terminal_nongoal: terminal.iter().filter(|&&v| !g.goal[v as usize]).count(),
+        scc_count: sweep.comp_count,
+        max_scc: sweep.max_size,
+        fair_sccs: sweep.fair_nontrivial,
+        counterexample,
+    }
+}
+
+/// Stem from the BFS tree + obligation-covering tour, then independent
+/// stem/cycle shrinking under replay validation.
+fn extract_lasso(
+    g: &FairGraph,
+    stepper: &dyn Stepper,
+    cycle_edges: &[Vec<(u64, u32)>],
+    scc: &FairBadScc,
+) -> Lasso {
+    let stem = g.stem_to(scc.bad);
+    let cycle: Vec<Transition> = build_cycle(cycle_edges, scc)
+        .into_iter()
+        .map(|(l, _)| unpack_label(&g.initial, l))
+        .collect();
+    assert!(
+        validate_lasso(&g.initial, stepper, g.policy, &stem, &cycle),
+        "raw lasso must replay before minimization"
+    );
+    let valid = |stem: &[Transition], cycle: &[Transition]| {
+        validate_lasso(&g.initial, stepper, g.policy, stem, cycle)
+    };
+    let (stem, cycle) = minimize_lasso(&stem, &cycle, &valid);
+    Lasso { stem, cycle }
+}
+
+/// Verdict of the closure analysis: the ring region is invariant under
+/// the fair dynamics.
+#[derive(Clone, Debug)]
+pub struct ClosureReport {
+    /// Reachable states (from the sorted-ring seed).
+    pub states: usize,
+    /// Edges of the graph.
+    pub edges: usize,
+    /// True when the state cap stopped construction (no verdict).
+    pub truncated: bool,
+    /// States still satisfying `is_sorted_ring` (closure demands all).
+    pub ring_states: usize,
+    /// States also satisfying the stricter `is_ring_stable_config`.
+    pub stable_states: usize,
+    /// Minimized schedule from the ring seed to a non-ring state.
+    pub escape: Option<Vec<Transition>>,
+}
+
+impl ClosureReport {
+    /// True when the analysis was exhaustive and the ring never broke.
+    pub fn closed(&self) -> bool {
+        !self.truncated && self.escape.is_none()
+    }
+}
+
+/// Checks closure on a graph built from a sorted-ring seed.
+pub fn check_closure(g: &FairGraph, stepper: &dyn Stepper) -> ClosureReport {
+    let escape = g.goal.iter().position(|&ok| !ok).map(|bad| {
+        // Vertex ids are u32 by construction (max_states bounds the graph).
+        #[allow(clippy::cast_possible_truncation)]
+        let stem = g.stem_to(bad as u32);
+        let escapes = |trace: &[Transition]| {
+            replay_states(&g.initial, stepper, g.policy, trace).is_some_and(|states| {
+                let last = states.last().expect("nonempty");
+                !is_sorted_ring(&Snapshot::new(last.nodes.clone(), last.channels.clone()))
+            })
+        };
+        minimize_with(&stem, &escapes)
+    });
+    ClosureReport {
+        states: g.len(),
+        edges: g.edge_count(),
+        truncated: g.truncated,
+        ring_states: g.goal.iter().filter(|&&b| b).count(),
+        stable_states: g.stable.iter().filter(|&&b| b).count(),
+        escape,
+    }
+}
+
+/// Verdict of the ranking-certificate analysis.
+#[derive(Clone, Debug)]
+pub struct RankingReport {
+    /// Reachable states of the budgeted model.
+    pub states: usize,
+    /// Edges of the graph.
+    pub edges: usize,
+    /// True when the state cap stopped construction (no verdict).
+    pub truncated: bool,
+    /// True when the potential never increased on any edge.
+    pub monotone: bool,
+    /// A schedule ending in a rank-increasing transition, with the ranks
+    /// around it.
+    pub increase: Option<(Vec<Transition>, Rank, Rank)>,
+    /// True when every goal state sits at `GOAL_RANK`.
+    pub goal_at_minimum: bool,
+    /// Fair SCCs of the equal-rank (stutter) subgraph — each is a fair
+    /// cycle on which the potential is constant; all must be goal-only.
+    pub stutter_fair_sccs: usize,
+    /// A fair equal-rank cycle through a non-goal state (certificate
+    /// failure), minimized and replay-validated.
+    pub stutter_counterexample: Option<Lasso>,
+}
+
+impl RankingReport {
+    /// True when the certificate holds exhaustively.
+    pub fn certified(&self) -> bool {
+        !self.truncated
+            && self.monotone
+            && self.goal_at_minimum
+            && self.stutter_counterexample.is_none()
+    }
+}
+
+/// Checks the ranking certificate over a built graph.
+pub fn check_ranking(g: &FairGraph, stepper: &dyn Stepper) -> RankingReport {
+    let mut increase = None;
+    'scan: for v in 0..g.len() {
+        for &(l, w) in &g.edges[v] {
+            if g.rank[w as usize] > g.rank[v] {
+                // Vertex ids are u32 by construction.
+                #[allow(clippy::cast_possible_truncation)]
+                let mut trace = g.stem_to(v as u32);
+                trace.push(unpack_label(&g.initial, l));
+                increase = Some((trace, g.rank[v], g.rank[w as usize]));
+                break 'scan;
+            }
+        }
+    }
+    let goal_at_minimum = g
+        .goal
+        .iter()
+        .zip(&g.rank)
+        .all(|(&goal, &r)| !goal || r == GOAL_RANK);
+    // Equal-rank subgraph: the only edges a rank-constant cycle can use.
+    let stutter: Vec<Vec<(u64, u32)>> = (0..g.len())
+        .map(|v| {
+            g.edges[v]
+                .iter()
+                .copied()
+                .filter(|&(_, w)| g.rank[w as usize] == g.rank[v])
+                .collect()
+        })
+        .collect();
+    let sweep = sweep_fair_sccs(&stutter, &g.edges, &g.goal);
+    let stutter_counterexample = sweep.violation.as_ref().map(|scc| {
+        let lasso = extract_lasso(g, stepper, &stutter, scc);
+        assert!(
+            validate_lasso(&g.initial, stepper, g.policy, &lasso.stem, &lasso.cycle),
+            "minimized stutter lasso must replay"
+        );
+        lasso
+    });
+    RankingReport {
+        states: g.len(),
+        edges: g.edge_count(),
+        truncated: g.truncated,
+        monotone: increase.is_none(),
+        increase,
+        goal_at_minimum,
+        stutter_fair_sccs: sweep.fair_nontrivial,
+        stutter_counterexample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{livelock_demo_state, ring_state};
+    use crate::stepper::{BounceLinStepper, RealStepper};
+
+    #[test]
+    fn tarjan_on_a_known_shape() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3; SCCs: {0}, {1,2}, {3}.
+        let edges: Vec<Vec<(u64, u32)>> =
+            vec![vec![(0, 1)], vec![(1, 2)], vec![(2, 1), (3, 3)], vec![]];
+        let (comp, count) = tarjan(&edges);
+        assert_eq!(count, 3);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[1]);
+        assert_ne!(comp[3], comp[1]);
+    }
+
+    #[test]
+    fn real_protocol_pair_is_livelock_free() {
+        let s = crate::families::Family::Line.initial_state(2, 2, 1);
+        let g = FairGraph::build(&s, &RealStepper, Policy::Zeros, 500_000);
+        let report = check_convergence(&g, &RealStepper);
+        assert!(report.livelock_free(), "fair sccs: {}", report.fair_sccs);
+        assert!(report.goal_states > 0, "the pair must reach its ring");
+        assert!(report.terminals > 0, "budgets exhaust, schedules quiesce");
+    }
+
+    #[test]
+    fn bounce_mutant_produces_validated_lasso() {
+        let s = livelock_demo_state();
+        let g = FairGraph::build(&s, &BounceLinStepper, Policy::Zeros, 500_000);
+        let report = check_convergence(&g, &BounceLinStepper);
+        assert!(!g.truncated);
+        let lasso = report.counterexample.expect("livelock must be detected");
+        assert!(!lasso.cycle.is_empty());
+        // Validation already ran inside check_convergence; re-assert the
+        // replay here as the outermost end-to-end check.
+        assert!(validate_lasso(
+            &s,
+            &BounceLinStepper,
+            Policy::Zeros,
+            &lasso.stem,
+            &lasso.cycle
+        ));
+    }
+
+    #[test]
+    fn ring_pair_is_closed() {
+        let s = ring_state(2, 2);
+        let g = FairGraph::build(&s, &RealStepper, Policy::Zeros, 500_000);
+        let report = check_closure(&g, &RealStepper);
+        assert!(report.closed(), "escape: {:?}", report.escape);
+        assert_eq!(report.ring_states, report.states);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let s = livelock_demo_state();
+        for t in s.enabled() {
+            let l = pack_label(&s, &t);
+            assert_eq!(unpack_label(&s, l), t);
+        }
+    }
+}

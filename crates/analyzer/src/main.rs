@@ -1,60 +1,151 @@
-//! `analyzer` — run the small-scope interleaving checker from the shell.
+//! `analyzer` — run the small-scope checkers from the shell.
 //!
 //! ```text
-//! analyzer [--n N] [--family line|star|clique|all] [--budget K]
-//!          [--policy zeros|ones|all] [--reduction none|sleep]
-//!          [--seed S] [--max-states M] [--channel-bound B] [--demo-fault]
+//! analyzer [--mode safety|liveness|closure|ranking]
+//!          [--n N] [--family line|star|clique|all] [--budget K]
+//!          [--policy zeros|ones|all] [--reduction none|sleep] [--symmetry]
+//!          [--seed S] [--max-states M] [--channel-bound B]
+//!          [--mutant drop-lin|self-echo|bounce-lin] [--demo-fault] [--json]
 //! ```
 //!
-//! Without flags it exhaustively checks every family at n = 3 with one
-//! regular action per node under both randomness policies (~1 minute,
-//! ~2.8M distinct states), and exits non-zero on any violation or
-//! truncated (non-exhaustive) search. Budget 2 exceeds the default
-//! 2M-state cap at n = 3; raise `--max-states` accordingly.
-//! `--demo-fault` instead runs the deliberately broken `drop-lin` stepper
-//! on the two-node fixture and prints the minimized counterexample — the
-//! output a real protocol bug would produce.
+//! The default mode, `safety`, exhaustively checks every family at
+//! n = 3 with one regular action per node under both randomness
+//! policies (~1 minute, ~2.8M distinct states) and exits non-zero on
+//! any violation or truncated search. The three liveness modes run the
+//! fair-cycle machinery of `swn_analyzer::liveness` on the same scope:
+//!
+//! * `liveness` — livelock-freedom: no weakly-fair cycle avoids the
+//!   sorted ring; also accounts terminal states (goal vs. budget-starved);
+//! * `closure` — from the canonical sorted ring with a fresh budget,
+//!   every reachable state is still the sorted ring;
+//! * `ranking` — the potential-function certificate: non-increasing on
+//!   every edge, goal at the minimum, no fair equal-rank cycle through a
+//!   non-goal state.
+//!
+//! `--mutant` runs a deliberately broken stepper on its demo fixture and
+//! expects the checker to catch it (exit 0 when caught): `drop-lin` and
+//! `self-echo` are safety mutants, `bounce-lin` livelocks and is caught
+//! by the fair-cycle detector with a minimized, replayable lasso.
+//! `--demo-fault` is the historical alias for `--mutant drop-lin`.
+//! `--json` emits one machine-readable JSON document on stdout instead
+//! of the human tables (the verdicts, sizes, SCC stats and any
+//! counterexample schedules).
 
 #![forbid(unsafe_code)]
 
+use swn_analyzer::families::{livelock_demo_state, ring_state};
 use swn_analyzer::{
-    format_trace, minimize, DropLinStepper, ExploreConfig, Explorer, Family, Policy, RealStepper,
-    Reduction, Stepper as _,
+    check_closure, check_convergence, check_ranking, format_trace, minimize, BounceLinStepper,
+    DropLinStepper, ExploreConfig, Explorer, FairGraph, Family, Lasso, Policy, RealStepper,
+    SelfEchoStepper, Stepper, Transition,
 };
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Safety,
+    Liveness,
+    Closure,
+    Ranking,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Safety => "safety",
+            Mode::Liveness => "liveness",
+            Mode::Closure => "closure",
+            Mode::Ranking => "ranking",
+        }
+    }
+}
+
 struct Args {
+    mode: Mode,
     n: usize,
     families: Vec<Family>,
     budget: u32,
     policies: Vec<Policy>,
-    reduction: Reduction,
+    reduction: swn_analyzer::Reduction,
+    symmetry: bool,
     seed: u64,
     max_states: usize,
     channel_bound: u32,
-    demo_fault: bool,
+    mutant: Option<String>,
+    json: bool,
+}
+
+/// One checker run in the `--json` document. Fields that a mode does
+/// not produce are `None` and serialize as `null`.
+#[derive(serde::Serialize)]
+struct JsonRun {
+    mode: &'static str,
+    stepper: &'static str,
+    family: Option<&'static str>,
+    policy: &'static str,
+    states: usize,
+    edges: Option<usize>,
+    truncated: bool,
+    goal_states: Option<usize>,
+    terminals: Option<usize>,
+    terminal_nongoal: Option<usize>,
+    scc_count: Option<usize>,
+    max_scc: Option<usize>,
+    fair_sccs: Option<usize>,
+    ring_states: Option<usize>,
+    stable_states: Option<usize>,
+    monotone: Option<bool>,
+    goal_at_minimum: Option<bool>,
+    stutter_fair_sccs: Option<usize>,
+    ok: bool,
+    verdict: String,
+    lasso: Option<JsonLasso>,
+    escape: Option<Vec<String>>,
+}
+
+#[derive(serde::Serialize)]
+struct JsonLasso {
+    stem: Vec<String>,
+    cycle: Vec<String>,
+}
+
+#[derive(serde::Serialize)]
+struct JsonDoc {
+    mode: &'static str,
+    n: usize,
+    budget: u32,
+    seed: u64,
+    channel_bound: u32,
+    symmetry: bool,
+    failed: bool,
+    runs: Vec<JsonRun>,
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: analyzer [--n N] [--family line|star|clique|all] [--budget K] \
-         [--policy zeros|ones|all] [--reduction none|sleep] [--seed S] \
-         [--max-states M] [--channel-bound B] [--demo-fault]"
+        "usage: analyzer [--mode safety|liveness|closure|ranking] [--n N] \
+         [--family line|star|clique|all] [--budget K] [--policy zeros|ones|all] \
+         [--reduction none|sleep] [--symmetry] [--seed S] [--max-states M] \
+         [--channel-bound B] [--mutant drop-lin|self-echo|bounce-lin] \
+         [--demo-fault] [--json]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
+        mode: Mode::Safety,
         n: 3,
         families: Family::ALL.to_vec(),
         budget: 1,
         policies: Policy::ALL.to_vec(),
-        reduction: Reduction::SleepSets,
+        reduction: swn_analyzer::Reduction::SleepSets,
+        symmetry: false,
         seed: 1,
         max_states: 2_000_000,
         channel_bound: 1,
-        demo_fault: false,
+        mutant: None,
+        json: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -66,6 +157,15 @@ fn parse_args() -> Args {
     };
     while i < argv.len() {
         match argv[i].as_str() {
+            "--mode" => {
+                args.mode = match value(&mut i).as_str() {
+                    "safety" => Mode::Safety,
+                    "liveness" => Mode::Liveness,
+                    "closure" => Mode::Closure,
+                    "ranking" => Mode::Ranking,
+                    _ => usage("--mode expects safety|liveness|closure|ranking"),
+                };
+            }
             "--n" => {
                 args.n = value(&mut i)
                     .parse()
@@ -100,11 +200,12 @@ fn parse_args() -> Args {
             "--reduction" => {
                 let v = value(&mut i);
                 args.reduction = match v.as_str() {
-                    "none" => Reduction::None,
-                    "sleep" => Reduction::SleepSets,
+                    "none" => swn_analyzer::Reduction::None,
+                    "sleep" => swn_analyzer::Reduction::SleepSets,
                     _ => usage("--reduction expects none|sleep"),
                 };
             }
+            "--symmetry" => args.symmetry = true,
             "--seed" => {
                 args.seed = value(&mut i)
                     .parse()
@@ -123,7 +224,15 @@ fn parse_args() -> Args {
                     usage("--channel-bound must be at least 1");
                 }
             }
-            "--demo-fault" => args.demo_fault = true,
+            "--mutant" => {
+                let v = value(&mut i);
+                if !["drop-lin", "self-echo", "bounce-lin"].contains(&v.as_str()) {
+                    usage("--mutant expects drop-lin|self-echo|bounce-lin");
+                }
+                args.mutant = Some(v);
+            }
+            "--demo-fault" => args.mutant = Some("drop-lin".to_owned()),
+            "--json" => args.json = true,
             other => usage(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -131,83 +240,468 @@ fn parse_args() -> Args {
     args
 }
 
-fn run_demo_fault(args: &Args) {
+fn fmt_schedule(ts: &[Transition]) -> Vec<String> {
+    ts.iter().map(std::string::ToString::to_string).collect()
+}
+
+fn print_lasso(lasso: &Lasso) {
+    println!(
+        "  minimized lasso (stem {} + cycle {}):",
+        lasso.stem.len(),
+        lasso.cycle.len()
+    );
+    for t in &lasso.stem {
+        println!("    stem:  {t}");
+    }
+    for t in &lasso.cycle {
+        println!("    cycle: {t}");
+    }
+}
+
+/// Runs a safety mutant (drop-lin / self-echo) on the two-node demo
+/// fixture and prints the minimized counterexample; exits non-zero when
+/// the monitors fail to catch it.
+fn run_safety_mutant(args: &Args, stepper: &dyn Stepper) {
     let initial = swn_analyzer::families::demo_fault_state(args.budget.min(1));
-    let stepper = DropLinStepper;
     let cfg = ExploreConfig {
         policy: Policy::Zeros,
         reduction: args.reduction,
         max_states: args.max_states,
         ..ExploreConfig::default()
     };
-    let report = Explorer::new(&stepper, cfg).run(&initial);
+    let report = Explorer::new(stepper, cfg).run(&initial);
     let Some(found) = report.violation else {
-        eprintln!("demo fixture unexpectedly clean — the monitors are broken");
+        eprintln!("mutant fixture unexpectedly clean — the monitors are broken");
         std::process::exit(1);
     };
+    let min = minimize(&initial, stepper, Policy::Zeros, &found.trace);
+    if args.json {
+        let doc = JsonDoc {
+            mode: "safety",
+            n: 2,
+            budget: args.budget.min(1),
+            seed: args.seed,
+            channel_bound: args.channel_bound,
+            symmetry: false,
+            failed: false,
+            runs: vec![JsonRun {
+                mode: "safety",
+                stepper: stepper.label(),
+                family: None,
+                policy: Policy::Zeros.label(),
+                states: report.distinct_states,
+                edges: None,
+                truncated: report.truncated,
+                goal_states: None,
+                terminals: None,
+                terminal_nongoal: None,
+                scc_count: None,
+                max_scc: None,
+                fair_sccs: None,
+                ring_states: None,
+                stable_states: None,
+                monotone: None,
+                goal_at_minimum: None,
+                stutter_fair_sccs: None,
+                ok: true,
+                verdict: format!("caught: {}", found.violation),
+                lasso: None,
+                escape: Some(fmt_schedule(&min)),
+            }],
+        };
+        println!("{}", serde_json::to_string(&doc).expect("serialize"));
+        return;
+    }
     println!(
-        "demo: injected fault '{}' caught after exploring {} states",
+        "mutant: injected fault '{}' caught after exploring {} states",
         stepper.label(),
         report.distinct_states
     );
     println!("raw trace: {} steps; minimizing...", found.trace.len());
-    let min = minimize(&initial, &stepper, Policy::Zeros, &found.trace);
-    print!("{}", format_trace(&initial, &stepper, Policy::Zeros, &min));
+    print!("{}", format_trace(&initial, stepper, Policy::Zeros, &min));
+}
+
+/// Runs the bounce-lin mutant through the fair-cycle detector on its
+/// three-node livelock fixture; exits non-zero unless a validated lasso
+/// counterexample is produced.
+fn run_bounce_mutant(args: &Args) {
+    let stepper = BounceLinStepper;
+    let initial = livelock_demo_state();
+    let g = FairGraph::build(&initial, &stepper, Policy::Zeros, args.max_states);
+    let report = check_convergence(&g, &stepper);
+    let Some(lasso) = &report.counterexample else {
+        eprintln!("bounce-lin fixture has no fair non-goal cycle — the detector is broken");
+        std::process::exit(1);
+    };
+    if args.json {
+        let doc = JsonDoc {
+            mode: "liveness",
+            n: initial.nodes.len(),
+            budget: 0,
+            seed: args.seed,
+            channel_bound: args.channel_bound,
+            symmetry: true,
+            failed: false,
+            runs: vec![convergence_run(&stepper, None, Policy::Zeros, &report)],
+        };
+        println!("{}", serde_json::to_string(&doc).expect("serialize"));
+        return;
+    }
+    println!(
+        "mutant: '{}' livelock detected — {} states, {} fair SCC(s), largest SCC {}",
+        stepper.label(),
+        report.states,
+        report.fair_sccs,
+        report.max_scc
+    );
+    print_lasso(lasso);
+    println!("  replays: the cycle is weakly fair and never reaches the sorted ring");
+}
+
+fn convergence_run(
+    stepper: &dyn Stepper,
+    family: Option<Family>,
+    policy: Policy,
+    r: &swn_analyzer::ConvergenceReport,
+) -> JsonRun {
+    let verdict = if let Some(l) = &r.counterexample {
+        format!(
+            "LIVELOCK: fair cycle of {} steps avoids the sorted ring",
+            l.cycle.len()
+        )
+    } else if r.truncated {
+        "TRUNCATED (raise --max-states for an exhaustive run)".to_owned()
+    } else {
+        format!(
+            "livelock-free ({} terminal states, {} budget-starved)",
+            r.terminals, r.terminal_nongoal
+        )
+    };
+    JsonRun {
+        mode: "liveness",
+        stepper: stepper.label(),
+        family: family.map(Family::label),
+        policy: policy.label(),
+        states: r.states,
+        edges: Some(r.edges),
+        truncated: r.truncated,
+        goal_states: Some(r.goal_states),
+        terminals: Some(r.terminals),
+        terminal_nongoal: Some(r.terminal_nongoal),
+        scc_count: Some(r.scc_count),
+        max_scc: Some(r.max_scc),
+        fair_sccs: Some(r.fair_sccs),
+        ring_states: None,
+        stable_states: None,
+        monotone: None,
+        goal_at_minimum: None,
+        stutter_fair_sccs: None,
+        // A mutant run is "ok" when the livelock IS caught; the real
+        // protocol is "ok" when it is livelock-free. The caller decides
+        // by stepper; here "ok" means the detector returned a verdict.
+        ok: if stepper.label() == "bounce-lin" {
+            r.counterexample.is_some()
+        } else {
+            r.livelock_free()
+        },
+        verdict,
+        lasso: r.counterexample.as_ref().map(|l| JsonLasso {
+            stem: fmt_schedule(&l.stem),
+            cycle: fmt_schedule(&l.cycle),
+        }),
+        escape: None,
+    }
 }
 
 fn main() {
     let args = parse_args();
-    if args.demo_fault {
-        run_demo_fault(&args);
-        return;
+    match args.mutant.as_deref() {
+        Some("drop-lin") => return run_safety_mutant(&args, &DropLinStepper),
+        Some("self-echo") => return run_safety_mutant(&args, &SelfEchoStepper),
+        Some("bounce-lin") => return run_bounce_mutant(&args),
+        _ => {}
     }
 
     let mut failed = false;
-    println!(
-        "small-scope check: n = {}, budget = {}, seed = {}, reduction = {:?}, channel bound = {}",
-        args.n, args.budget, args.seed, args.reduction, args.channel_bound
-    );
-    for &family in &args.families {
-        for &policy in &args.policies {
-            let initial =
-                family.initial_state_bounded(args.n, args.budget, args.seed, args.channel_bound);
-            let cfg = ExploreConfig {
-                policy,
-                reduction: args.reduction,
-                max_states: args.max_states,
-                ..ExploreConfig::default()
-            };
-            let report = Explorer::new(&RealStepper, cfg).run(&initial);
-            let verdict = if let Some(found) = &report.violation {
-                failed = true;
-                format!("VIOLATION: {}", found.violation)
-            } else if report.truncated {
-                failed = true;
-                "TRUNCATED (raise --max-states for an exhaustive run)".to_owned()
-            } else {
-                "ok (exhaustive)".to_owned()
-            };
-            println!(
-                "  {:<6} policy={:<5} states={:>8} transitions={:>9} quiescent={:>6} depth={:>4}  {}",
-                family.label(),
-                policy.label(),
-                report.distinct_states,
-                report.transitions_executed,
-                report.quiescent_states,
-                report.max_depth_reached,
-                verdict
-            );
-            if report.coalesced_sends > 0 {
-                println!(
-                    "         ({} sends coalesced by channel bound {}; exhaustive relative to it)",
-                    report.coalesced_sends, args.channel_bound
-                );
-            }
-            if let Some(found) = report.violation {
-                let min = minimize(&initial, &RealStepper, policy, &found.trace);
-                print!("{}", format_trace(&initial, &RealStepper, policy, &min));
+    let mut runs: Vec<JsonRun> = Vec::new();
+    if !args.json {
+        println!(
+            "small-scope {} check: n = {}, budget = {}, seed = {}, channel bound = {}",
+            args.mode.label(),
+            args.n,
+            args.budget,
+            args.seed,
+            args.channel_bound
+        );
+    }
+    for &policy in &args.policies {
+        // Closure has one canonical seed per (n, budget), not one per
+        // family: the sorted ring itself.
+        let families: Vec<Option<Family>> = if args.mode == Mode::Closure {
+            vec![None]
+        } else {
+            args.families.iter().copied().map(Some).collect()
+        };
+        for family in families {
+            match args.mode {
+                Mode::Safety => {
+                    let family = family.expect("safety iterates families");
+                    let initial = family.initial_state_bounded(
+                        args.n,
+                        args.budget,
+                        args.seed,
+                        args.channel_bound,
+                    );
+                    let cfg = ExploreConfig {
+                        policy,
+                        reduction: args.reduction,
+                        symmetry: args.symmetry,
+                        max_states: args.max_states,
+                        ..ExploreConfig::default()
+                    };
+                    let report = Explorer::new(&RealStepper, cfg).run(&initial);
+                    let (ok, verdict) = if let Some(found) = &report.violation {
+                        (false, format!("VIOLATION: {}", found.violation))
+                    } else if report.truncated {
+                        (
+                            false,
+                            "TRUNCATED (raise --max-states for an exhaustive run)".to_owned(),
+                        )
+                    } else {
+                        (true, "ok (exhaustive)".to_owned())
+                    };
+                    failed |= !ok;
+                    if args.json {
+                        runs.push(JsonRun {
+                            mode: "safety",
+                            stepper: "real",
+                            family: Some(family.label()),
+                            policy: policy.label(),
+                            states: report.distinct_states,
+                            edges: None,
+                            truncated: report.truncated,
+                            goal_states: None,
+                            terminals: Some(report.quiescent_states),
+                            terminal_nongoal: None,
+                            scc_count: None,
+                            max_scc: None,
+                            fair_sccs: None,
+                            ring_states: None,
+                            stable_states: None,
+                            monotone: None,
+                            goal_at_minimum: None,
+                            stutter_fair_sccs: None,
+                            ok,
+                            verdict,
+                            lasso: None,
+                            escape: report.violation.as_ref().map(|found| {
+                                fmt_schedule(&minimize(
+                                    &initial,
+                                    &RealStepper,
+                                    policy,
+                                    &found.trace,
+                                ))
+                            }),
+                        });
+                    } else {
+                        println!(
+                            "  {:<6} policy={:<5} states={:>8} transitions={:>9} quiescent={:>6} depth={:>4}  {}",
+                            family.label(),
+                            policy.label(),
+                            report.distinct_states,
+                            report.transitions_executed,
+                            report.quiescent_states,
+                            report.max_depth_reached,
+                            verdict
+                        );
+                        if report.coalesced_sends > 0 {
+                            println!(
+                                "         ({} sends coalesced by channel bound {}; exhaustive relative to it)",
+                                report.coalesced_sends, args.channel_bound
+                            );
+                        }
+                        if let Some(found) = report.violation {
+                            let min = minimize(&initial, &RealStepper, policy, &found.trace);
+                            print!("{}", format_trace(&initial, &RealStepper, policy, &min));
+                        }
+                    }
+                }
+                Mode::Liveness => {
+                    let family = family.expect("liveness iterates families");
+                    let initial = family.initial_state_bounded(
+                        args.n,
+                        args.budget,
+                        args.seed,
+                        args.channel_bound,
+                    );
+                    let g = FairGraph::build(&initial, &RealStepper, policy, args.max_states);
+                    let report = check_convergence(&g, &RealStepper);
+                    let run = convergence_run(&RealStepper, Some(family), policy, &report);
+                    failed |= !run.ok;
+                    if args.json {
+                        runs.push(run);
+                    } else {
+                        println!(
+                            "  {:<6} policy={:<5} states={:>8} edges={:>9} goal={:>7} terminal={:>6} (starved {}) sccs={} fair={}  {}",
+                            family.label(),
+                            policy.label(),
+                            report.states,
+                            report.edges,
+                            report.goal_states,
+                            report.terminals,
+                            report.terminal_nongoal,
+                            report.scc_count,
+                            report.fair_sccs,
+                            run.verdict
+                        );
+                        if let Some(l) = &report.counterexample {
+                            print_lasso(l);
+                        }
+                    }
+                }
+                Mode::Closure => {
+                    let initial = ring_state(args.n, args.budget);
+                    let g = FairGraph::build(&initial, &RealStepper, policy, args.max_states);
+                    let report = check_closure(&g, &RealStepper);
+                    let ok = report.closed();
+                    failed |= !ok;
+                    let verdict = if let Some(escape) = &report.escape {
+                        format!("ESCAPE: ring broken after {} steps", escape.len())
+                    } else if report.truncated {
+                        "TRUNCATED (raise --max-states for an exhaustive run)".to_owned()
+                    } else {
+                        "closed (every reachable state is the sorted ring)".to_owned()
+                    };
+                    if args.json {
+                        runs.push(JsonRun {
+                            mode: "closure",
+                            stepper: "real",
+                            family: None,
+                            policy: policy.label(),
+                            states: report.states,
+                            edges: Some(report.edges),
+                            truncated: report.truncated,
+                            goal_states: None,
+                            terminals: None,
+                            terminal_nongoal: None,
+                            scc_count: None,
+                            max_scc: None,
+                            fair_sccs: None,
+                            ring_states: Some(report.ring_states),
+                            stable_states: Some(report.stable_states),
+                            monotone: None,
+                            goal_at_minimum: None,
+                            stutter_fair_sccs: None,
+                            ok,
+                            verdict,
+                            lasso: None,
+                            escape: report.escape.as_ref().map(|e| fmt_schedule(e)),
+                        });
+                    } else {
+                        println!(
+                            "  ring   policy={:<5} states={:>8} edges={:>9} ring={:>8} stable={:>8}  {}",
+                            policy.label(),
+                            report.states,
+                            report.edges,
+                            report.ring_states,
+                            report.stable_states,
+                            verdict
+                        );
+                        if let Some(escape) = &report.escape {
+                            for t in escape {
+                                println!("    escape: {t}");
+                            }
+                        }
+                    }
+                }
+                Mode::Ranking => {
+                    let family = family.expect("ranking iterates families");
+                    let initial = family.initial_state_bounded(
+                        args.n,
+                        args.budget,
+                        args.seed,
+                        args.channel_bound,
+                    );
+                    let g = FairGraph::build(&initial, &RealStepper, policy, args.max_states);
+                    let report = check_ranking(&g, &RealStepper);
+                    let ok = report.certified();
+                    failed |= !ok;
+                    let verdict = if let Some((trace, from, to)) = &report.increase {
+                        format!(
+                            "RANK INCREASE {:?} -> {:?} after {} steps",
+                            from,
+                            to,
+                            trace.len()
+                        )
+                    } else if !report.goal_at_minimum {
+                        "GOAL STATE ABOVE MINIMUM RANK".to_owned()
+                    } else if report.stutter_counterexample.is_some() {
+                        "FAIR RANK-CONSTANT CYCLE OUTSIDE GOAL".to_owned()
+                    } else if report.truncated {
+                        "TRUNCATED (raise --max-states for an exhaustive run)".to_owned()
+                    } else {
+                        "certified (monotone, goal at minimum, stutter cycles goal-only)".to_owned()
+                    };
+                    if args.json {
+                        runs.push(JsonRun {
+                            mode: "ranking",
+                            stepper: "real",
+                            family: Some(family.label()),
+                            policy: policy.label(),
+                            states: report.states,
+                            edges: Some(report.edges),
+                            truncated: report.truncated,
+                            goal_states: None,
+                            terminals: None,
+                            terminal_nongoal: None,
+                            scc_count: None,
+                            max_scc: None,
+                            fair_sccs: None,
+                            ring_states: None,
+                            stable_states: None,
+                            monotone: Some(report.monotone),
+                            goal_at_minimum: Some(report.goal_at_minimum),
+                            stutter_fair_sccs: Some(report.stutter_fair_sccs),
+                            ok,
+                            verdict,
+                            lasso: report.stutter_counterexample.as_ref().map(|l| JsonLasso {
+                                stem: fmt_schedule(&l.stem),
+                                cycle: fmt_schedule(&l.cycle),
+                            }),
+                            escape: report.increase.as_ref().map(|(t, _, _)| fmt_schedule(t)),
+                        });
+                    } else {
+                        println!(
+                            "  {:<6} policy={:<5} states={:>8} edges={:>9} monotone={} goal_at_min={} stutter_fair={}  {}",
+                            family.label(),
+                            policy.label(),
+                            report.states,
+                            report.edges,
+                            report.monotone,
+                            report.goal_at_minimum,
+                            report.stutter_fair_sccs,
+                            verdict
+                        );
+                        if let Some(l) = &report.stutter_counterexample {
+                            print_lasso(l);
+                        }
+                    }
+                }
             }
         }
+    }
+    if args.json {
+        let doc = JsonDoc {
+            mode: args.mode.label(),
+            n: args.n,
+            budget: args.budget,
+            seed: args.seed,
+            channel_bound: args.channel_bound,
+            symmetry: args.symmetry || args.mode != Mode::Safety,
+            failed,
+            runs,
+        };
+        println!("{}", serde_json::to_string(&doc).expect("serialize"));
     }
     if failed {
         std::process::exit(1);

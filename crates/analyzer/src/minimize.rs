@@ -7,6 +7,17 @@
 //! schedule that still (a) replays — every remaining transition is
 //! enabled when its turn comes — and (b) ends in a violation. The result
 //! is 1-minimal: removing any single transition loses the violation.
+//!
+//! The same loop generalizes beyond acyclic safety witnesses:
+//! [`minimize_with`] shrinks any schedule under a caller-supplied
+//! validity predicate, and [`minimize_lasso`] shrinks a liveness
+//! counterexample's stem and cycle **independently** — dropping a stem
+//! transition must leave a schedule that still reaches *some* anchor of
+//! a fair non-goal cycle, dropping a cycle transition must leave a loop
+//! that still closes, stays fair and stays outside the goal — with the
+//! semantic predicate (replay + fairness + goal check) supplied by
+//! `liveness::validate_lasso`, so the shrunk lasso replays
+//! deterministically by construction.
 
 use crate::state::{PredVector, State, Transition, Violation};
 use crate::stepper::{Policy, Stepper};
@@ -111,6 +122,17 @@ pub fn minimize(
         reproduces(trace),
         "minimize() needs a schedule that reproduces a violation"
     );
+    minimize_with(trace, &reproduces)
+}
+
+/// Greedy 1-minimal shrinking of `trace` under an arbitrary validity
+/// predicate: repeatedly drop any single transition whose removal keeps
+/// `valid` true, to a fixpoint. `trace` itself must be valid.
+pub fn minimize_with(
+    trace: &[Transition],
+    valid: &dyn Fn(&[Transition]) -> bool,
+) -> Vec<Transition> {
+    debug_assert!(valid(trace), "minimize_with() needs a valid schedule");
     let mut best = trace.to_vec();
     loop {
         let mut shrunk = false;
@@ -118,7 +140,7 @@ pub fn minimize(
         while i < best.len() {
             let mut candidate = best.clone();
             candidate.remove(i);
-            if reproduces(&candidate) {
+            if valid(&candidate) {
                 best = candidate;
                 shrunk = true;
                 // Same index now names the next transition; retry it.
@@ -128,6 +150,37 @@ pub fn minimize(
         }
         if !shrunk {
             return best;
+        }
+    }
+}
+
+/// Shrinks a lasso counterexample: the cycle and the stem are delta
+/// debugged **independently** (a schedule prefix and a loop have
+/// different validity conditions, so the acyclic-witness loop of
+/// [`minimize`] cannot shrink them jointly), iterated to a common
+/// fixpoint since a shorter cycle can unlock stem drops and vice versa.
+/// `valid(stem, cycle)` decides whether a candidate pair is still a
+/// counterexample — for liveness that is `liveness::validate_lasso`:
+/// the stem replays, the cycle closes on its anchor, stays weakly fair
+/// and visits a non-goal state. Both inputs must be valid together.
+pub fn minimize_lasso(
+    stem: &[Transition],
+    cycle: &[Transition],
+    valid: &dyn Fn(&[Transition], &[Transition]) -> bool,
+) -> (Vec<Transition>, Vec<Transition>) {
+    assert!(
+        valid(stem, cycle),
+        "minimize_lasso() needs a reproducing lasso"
+    );
+    let mut stem = stem.to_vec();
+    let mut cycle = cycle.to_vec();
+    loop {
+        let cycle_before = cycle.len();
+        let stem_before = stem.len();
+        cycle = minimize_with(&cycle, &|c: &[Transition]| valid(&stem, c));
+        stem = minimize_with(&stem, &|s: &[Transition]| valid(s, &cycle));
+        if cycle.len() == cycle_before && stem.len() == stem_before {
+            return (stem, cycle);
         }
     }
 }

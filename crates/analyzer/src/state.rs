@@ -175,7 +175,7 @@ fn ext_code(nodes: &[Node], e: Extended) -> u64 {
 }
 
 /// Canonical `[kind, payload, payload]` encoding of a message.
-fn msg_code(nodes: &[Node], m: &Message) -> [u64; 3] {
+pub(crate) fn msg_code(nodes: &[Node], m: &Message) -> [u64; 3] {
     match *m {
         Message::Lin(x) => [0, id_code(nodes, x), 0],
         Message::IncLrl(x) => [1, id_code(nodes, x), 0],
@@ -184,6 +184,35 @@ fn msg_code(nodes: &[Node], m: &Message) -> [u64; 3] {
         Message::ResRing(x) => [4, id_code(nodes, x), 0],
         Message::ProbR(x) => [5, id_code(nodes, x), 0],
         Message::ProbL(x) => [6, id_code(nodes, x), 0],
+    }
+}
+
+/// Inverse of [`ext_code`]. Panics on a code outside the closed world.
+fn decode_ext(nodes: &[Node], code: u64) -> Extended {
+    match code {
+        0 => Extended::NegInf,
+        1 => Extended::PosInf,
+        c => Extended::Fin(nodes[usize::try_from(c - 2).expect("code fits usize")].id()),
+    }
+}
+
+/// Inverse of the finite-id arm of [`id_code`].
+fn decode_id(nodes: &[Node], code: u64) -> NodeId {
+    nodes[usize::try_from(code - 2).expect("code fits usize")].id()
+}
+
+/// Inverse of [`msg_code`], used to unpack edge labels of the liveness
+/// graph back into concrete messages.
+pub(crate) fn decode_msg(nodes: &[Node], code: [u64; 3]) -> Message {
+    match code[0] {
+        0 => Message::Lin(decode_id(nodes, code[1])),
+        1 => Message::IncLrl(decode_id(nodes, code[1])),
+        2 => Message::ResLrl(decode_ext(nodes, code[1]), decode_ext(nodes, code[2])),
+        3 => Message::Ring(decode_id(nodes, code[1])),
+        4 => Message::ResRing(decode_id(nodes, code[1])),
+        5 => Message::ProbR(decode_id(nodes, code[1])),
+        6 => Message::ProbL(decode_id(nodes, code[1])),
+        k => unreachable!("unknown message kind code {k}"),
     }
 }
 
@@ -343,6 +372,11 @@ impl State {
                 ts.push(Transition::Regular { node: i });
             }
         }
+        self.push_deliveries(&mut ts);
+        ts
+    }
+
+    fn push_deliveries(&self, ts: &mut Vec<Transition>) {
         for (i, ch) in self.channels.iter().enumerate() {
             for (k, m) in ch.iter().enumerate() {
                 if ch[..k].contains(m) {
@@ -351,7 +385,6 @@ impl State {
                 ts.push(Transition::Deliver { dest: i, msg: *m });
             }
         }
-        ts
     }
 
     /// Executes `t` through `stepper`, returning the successor, any

@@ -135,6 +135,53 @@ impl Stepper for SelfEchoStepper {
     }
 }
 
+/// Faulty fixture for the **liveness** checker: `linearize`'s adopt case
+/// is replaced by an overshoot — when `lin(x)` carries an identifier
+/// that belongs strictly between this node and its finite neighbour on
+/// `x`'s side, the handler forwards `x` *past the gap* to that neighbour
+/// instead of adopting it (all other cases, including the sentinel
+/// sides, stay correct). The carried identifier is never dropped, so
+/// every safety monitor stays green — CC connectivity rides the
+/// in-flight message, no self-sends, no duplicates — but the message
+/// bounces between the two gap endpoints forever and the node it carries
+/// is never linked in: a livelock. Exactly the bug class the fair-cycle
+/// detector exists for; the safety explorer reports this stepper clean.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BounceLinStepper;
+
+impl Stepper for BounceLinStepper {
+    fn deliver(&self, node: &mut Node, msg: Message, rng: &mut PolicyRng, out: &mut Outbox) {
+        use swn_core::id::Extended;
+        if let Message::Lin(x) = msg {
+            let me = node.id();
+            if x > me {
+                if let Extended::Fin(r) = node.right() {
+                    if x < r {
+                        out.send(r, Message::Lin(x)); // the bug: overshoot, never adopt
+                        return;
+                    }
+                }
+            } else if x < me {
+                if let Extended::Fin(l) = node.left() {
+                    if x > l {
+                        out.send(l, Message::Lin(x)); // the bug, mirrored
+                        return;
+                    }
+                }
+            }
+        }
+        node.on_message(msg, rng, out);
+    }
+
+    fn regular(&self, node: &mut Node, out: &mut Outbox) {
+        node.on_regular(out);
+    }
+
+    fn label(&self) -> &'static str {
+        "bounce-lin"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

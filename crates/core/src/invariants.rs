@@ -176,6 +176,58 @@ pub fn is_sorted_ring(s: &Snapshot) -> bool {
     is_sorted_ring_view(&s.as_view())
 }
 
+/// The sorted ring **modulo its declared flicker**: the `l`/`r`/`ring`
+/// pointer structure is exactly the sorted ring, and every in-flight
+/// message belongs to the chatter a stable ring perpetually generates —
+/// the long-range token walk (`inclrl`/`reslrl`, which moves `lrl` and
+/// `age` forever by design), probes (monotone no-ops on a perfect ring),
+/// neighbour re-advertisements (`lin(x)` addressed to a node that
+/// already stores `x`, or the dying echo `lin(d)` addressed to `d`
+/// itself), and the extremal pair's ring-edge refresh (`ring`/`resring`
+/// carrying one extremum to the other). This is the closure-mode
+/// invariant: stronger than [`is_sorted_ring_view`] (which says nothing
+/// about channels), it pins down *which* flicker the stable region is
+/// allowed to sustain — anything else in flight means the ring is still
+/// digesting a repair and the configuration is not stable.
+pub fn is_ring_stable_config_view(v: &NetView<'_>) -> bool {
+    use crate::message::Message;
+    if !is_sorted_ring_view(v) {
+        return false;
+    }
+    let nodes = v.nodes();
+    let n = nodes.len();
+    if n == 0 {
+        return true;
+    }
+    let min_id = nodes[0].id();
+    let max_id = nodes[n - 1].id();
+    for (i, node) in nodes.iter().enumerate() {
+        let d = node.id();
+        for m in v.channel(i) {
+            let benign = match *m {
+                Message::IncLrl(_)
+                | Message::ResLrl(..)
+                | Message::ProbR(_)
+                | Message::ProbL(_) => true,
+                Message::Lin(x) => {
+                    x == d || Extended::Fin(x) == node.left() || Extended::Fin(x) == node.right()
+                }
+                Message::Ring(x) => (d == max_id && x == min_id) || (d == min_id && x == max_id),
+                Message::ResRing(x) => (d == min_id && x == max_id) || (d == max_id && x == min_id),
+            };
+            if !benign {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Snapshot spelling of [`is_ring_stable_config_view`].
+pub fn is_ring_stable_config(s: &Snapshot) -> bool {
+    is_ring_stable_config_view(&s.as_view())
+}
+
 /// Structural part of the small-world state (Theorem 4.22): the sorted
 /// ring holds and every long-range link points at an existing node
 /// (the distributional part is measured separately).

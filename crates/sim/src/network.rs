@@ -395,6 +395,7 @@ impl Network {
         self.order_buf = order;
 
         let t_stats = if sample {
+            // lint: allow(determinism) — phase-timer sampling; feeds observability only.
             Some(std::time::Instant::now())
         } else {
             None
@@ -783,6 +784,7 @@ impl Network {
 #[inline]
 fn timed<T>(on: bool, acc: &mut u64, f: impl FnOnce() -> T) -> T {
     if on {
+        // lint: allow(determinism) — phase-timer sampling; feeds observability only.
         let t0 = std::time::Instant::now();
         let r = f();
         *acc = acc.saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));

@@ -21,3 +21,11 @@ pub fn lookup(x: Option<u32>) -> u32 {
     // Violation: a malformed peer message could panic the node.
     x.unwrap()
 }
+
+pub fn measure(events: &std::collections::HashMap<u64, u64>) -> std::time::Duration {
+    // Violations: randomized-iteration map and a wall-clock read in a
+    // deterministic crate.
+    let t0 = std::time::Instant::now();
+    for (_k, _v) in events {}
+    t0.elapsed()
+}

@@ -23,6 +23,15 @@
 //! * [`Rule::MissingForbidUnsafe`] — every crate root (`src/lib.rs`)
 //!   must carry `#![forbid(unsafe_code)]` so the workspace-level deny
 //!   cannot be overridden locally.
+//! * [`Rule::Nondeterminism`] — non-test code in the deterministic
+//!   crates (`swn-core`, `swn-sim`, `swn-analyzer`) must not reach for
+//!   randomized-iteration hash collections (`HashMap`/`HashSet`), wall
+//!   clocks (`Instant::now`/`SystemTime::now`) or unseeded randomness
+//!   (`thread_rng`/`from_entropy`). Replay, the analyzer's exhaustive
+//!   search and the seeded experiments all assume the same seed yields
+//!   the same execution; each exception needs a waiver stating why it
+//!   cannot leak into observable behavior (e.g. a hash map used only
+//!   for keyed lookup, never iterated).
 //!
 //! A finding is suppressed by a waiver comment `// lint: allow(<rule>)`
 //! on the offending line or the line directly above it.
@@ -49,6 +58,8 @@ pub enum Rule {
     HardcodedKindCount,
     /// Crate root without `#![forbid(unsafe_code)]`.
     MissingForbidUnsafe,
+    /// Nondeterministic construct in a deterministic crate.
+    Nondeterminism,
 }
 
 impl Rule {
@@ -59,6 +70,7 @@ impl Rule {
             Rule::HandlerUnwrap => "handler-unwrap",
             Rule::HardcodedKindCount => "hardcoded-kind-count",
             Rule::MissingForbidUnsafe => "missing-forbid-unsafe",
+            Rule::Nondeterminism => "determinism",
         }
     }
 }
@@ -360,6 +372,7 @@ struct FileClass {
     message_match: bool,
     handler_unwrap: bool,
     crate_root: bool,
+    determinism: bool,
 }
 
 /// Handler modules of `swn-core` where a peer-triggered panic is a
@@ -373,6 +386,14 @@ const HANDLER_FILES: [&str; 6] = [
     "forget.rs",
 ];
 
+/// Crates whose executions must replay bit-for-bit from a seed: the
+/// protocol itself, the simulator, and the exhaustive checker.
+const DETERMINISTIC_CRATES: [&str; 3] = [
+    "crates/core/src/",
+    "crates/sim/src/",
+    "crates/analyzer/src/",
+];
+
 fn classify(path: &str) -> FileClass {
     let p = path.replace('\\', "/");
     let in_core = p.contains("crates/core/src/");
@@ -382,6 +403,7 @@ fn classify(path: &str) -> FileClass {
         message_match: in_core || is_fixture,
         handler_unwrap: (in_core && HANDLER_FILES.contains(&file)) || is_fixture,
         crate_root: file == "lib.rs" && (p.ends_with("src/lib.rs") || is_fixture),
+        determinism: DETERMINISTIC_CRATES.iter().any(|c| p.contains(c)) || is_fixture,
     }
 }
 
@@ -428,11 +450,17 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
         }
     }
 
+    let tests = if class.handler_unwrap || class.determinism {
+        test_region_lines(src, &blanked)
+    } else {
+        Vec::new()
+    };
+    let in_tests = |n: usize| tests.iter().any(|&(a, b)| n >= a && n <= b);
+
     if class.handler_unwrap {
-        let tests = test_region_lines(src, &blanked);
         for (i, line) in blanked.lines().enumerate() {
             let n = i + 1;
-            if tests.iter().any(|&(a, b)| n >= a && n <= b) {
+            if in_tests(n) {
                 continue;
             }
             for needle in [".unwrap(", ".expect("] {
@@ -443,6 +471,42 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
                         format!(
                             "`{needle})` in protocol handler code; a malformed peer \
                              message must not panic a node — guard and return instead"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    if class.determinism {
+        const NEEDLES: [(&str, &str); 6] = [
+            (
+                "HashMap",
+                "std::collections::HashMap iterates in randomized order",
+            ),
+            (
+                "HashSet",
+                "std::collections::HashSet iterates in randomized order",
+            ),
+            ("Instant::now", "wall-clock reads are not replayable"),
+            ("SystemTime::now", "wall-clock reads are not replayable"),
+            ("thread_rng", "unseeded randomness is not replayable"),
+            ("from_entropy", "unseeded randomness is not replayable"),
+        ];
+        for (i, line) in blanked.lines().enumerate() {
+            let n = i + 1;
+            if in_tests(n) {
+                continue;
+            }
+            for (needle, why) in NEEDLES {
+                if line.contains(needle) {
+                    push(
+                        Rule::Nondeterminism,
+                        n,
+                        format!(
+                            "`{needle}` in a deterministic crate: {why}; use an \
+                             ordered/seeded alternative or waive with a justification \
+                             that it cannot reach observable behavior"
                         ),
                     );
                 }
@@ -651,6 +715,33 @@ mod tests {
         assert!(rules.contains(&Rule::WildcardMessageMatch), "{v:?}");
         assert!(rules.contains(&Rule::HandlerUnwrap), "{v:?}");
         assert!(rules.contains(&Rule::HardcodedKindCount), "{v:?}");
+        assert!(rules.contains(&Rule::Nondeterminism), "{v:?}");
+    }
+
+    #[test]
+    fn nondeterminism_flagged_in_deterministic_crates_only() {
+        let src = "use std::collections::HashMap;\n";
+        for dir in ["crates/core/src", "crates/sim/src", "crates/analyzer/src"] {
+            let v = lint_source(&format!("{dir}/x.rs"), src);
+            assert_eq!(v.len(), 1, "{dir}: {v:?}");
+            assert_eq!(v[0].rule, Rule::Nondeterminism);
+        }
+        // Harness/bench code may use wall clocks and hash maps freely.
+        assert!(lint_source("crates/harness/src/x.rs", src).is_empty());
+        assert!(lint_source("crates/xtask/src/lint.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_spares_tests_and_honors_waivers() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        assert!(lint_source("crates/sim/src/x.rs", in_test).is_empty());
+        let waived = "// lint: allow(determinism) — lookup only, never iterated.\n\
+                      use std::collections::HashMap;\n";
+        assert!(lint_source("crates/analyzer/src/x.rs", waived).is_empty());
+        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
+        let v = lint_source("crates/sim/src/network.rs", clock);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::Nondeterminism);
     }
 
     #[test]

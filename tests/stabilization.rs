@@ -166,6 +166,11 @@ fn messages_only_reference_existing_nodes_after_start() {
             }
         }
     }
-    let dropped: u64 = net.trace().rounds().iter().map(swn_sim::trace::RoundStats::dropped).sum();
+    let dropped: u64 = net
+        .trace()
+        .rounds()
+        .iter()
+        .map(swn_sim::trace::RoundStats::dropped)
+        .sum();
     assert_eq!(dropped, 0);
 }
