@@ -1,0 +1,215 @@
+//! Scale targets for the million-node round engine (DESIGN.md §12):
+//! the two end-to-end numbers the active-set scheduler was built for.
+//!
+//! * **run_to_ring @ 1e5** — wall time to stabilize a corrupted ring of
+//!   100 000 nodes under [`ScheduleMode::ActiveSet`]. The corruptions
+//!   are local, so after the first full round only their neighbourhoods
+//!   stay on the agenda: the run costs O(damage), not
+//!   O(rounds × nodes).
+//! * **churn soak @ 1e6** — ns/round over a 1000-round window on a
+//!   converged ring of 1 000 000 nodes with a sparse join/leave trickle
+//!   (one of each every 16 rounds). Between churn events only the churn
+//!   neighbourhoods and the in-flight probe-walk frontiers are active,
+//!   so the average round cost is dominated by a handful of nodes, not
+//!   the million sleepers — `mean_active` records exactly that.
+//!
+//! The bench emits `BENCH_scale.json` (workspace root, or wherever
+//! `SWN_BENCH_OUT` points). `SWN_BENCH_QUICK=1` shrinks both scenarios
+//! (1e4 / 2e4 nodes, 200 soak rounds) so CI can smoke-run them; the
+//! committed record is always a full run, and the `quick` flag keeps the
+//! two modes from being compared against each other.
+//!
+//! [`ScheduleMode::ActiveSet`]: swn_sim::ScheduleMode::ActiveSet
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+use swn_core::config::ProtocolConfig;
+use swn_core::id::{evenly_spaced_ids, NodeId};
+use swn_core::invariants::make_sorted_ring;
+use swn_core::message::Message;
+use swn_core::node::Node;
+use swn_sim::convergence::run_to_ring;
+use swn_sim::init::{generate, InitialTopology};
+use swn_sim::{Network, ScheduleMode};
+
+fn quick_mode() -> bool {
+    std::env::var_os("SWN_BENCH_QUICK").is_some()
+}
+
+fn out_path() -> std::path::PathBuf {
+    match std::env::var_os("SWN_BENCH_OUT") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("BENCH_scale.json"),
+    }
+}
+
+/// The stabilization half: a corrupted ring healed under the scheduler.
+#[derive(Serialize)]
+struct RunToRingEntry {
+    n: usize,
+    corruptions: usize,
+    /// Wall time of the whole `run_to_ring` call, milliseconds.
+    wall_ms: f64,
+    /// Rounds until the sorted ring re-formed.
+    rounds_to_ring: u64,
+    /// Messages sent until the ring re-formed.
+    messages_to_ring: u64,
+}
+
+/// The soak half: a converged ring absorbing a join/leave trickle.
+#[derive(Serialize)]
+struct ChurnSoakEntry {
+    n: usize,
+    rounds: u64,
+    /// Joins and leaves actually applied inside the window.
+    joins: u64,
+    leaves: u64,
+    /// Average round cost over the window, nanoseconds. Includes the
+    /// churn hooks themselves (a leave's staleness sweep is O(n)), so
+    /// this is the honest end-to-end number, not a best case.
+    ns_per_round: f64,
+    /// Mean `active_count` over the window — the number the scheduler
+    /// exists for: nodes actually visited per round, against the `n`
+    /// sleepers a full scan would walk.
+    mean_active: f64,
+}
+
+#[derive(Serialize)]
+struct ScaleRecord {
+    quick: bool,
+    run_to_ring: RunToRingEntry,
+    churn_soak: ChurnSoakEntry,
+}
+
+fn measure_run_to_ring(n: usize, corruptions: usize) -> RunToRingEntry {
+    let ids = evenly_spaced_ids(n);
+    let seed = 7;
+    let mut net = generate(
+        InitialTopology::CorruptedRing { corruptions },
+        &ids,
+        ProtocolConfig::default(),
+        seed,
+    )
+    .into_network(seed);
+    net.set_schedule_mode(ScheduleMode::ActiveSet);
+    let start = Instant::now();
+    let report = run_to_ring(&mut net, 20_000);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        report.stabilized(),
+        "corrupted ring failed to heal: {report:?}"
+    );
+    RunToRingEntry {
+        n,
+        corruptions,
+        wall_ms,
+        rounds_to_ring: report.rounds_to_ring.expect("stabilized"),
+        messages_to_ring: report.messages_to_ring,
+    }
+}
+
+fn measure_churn_soak(n: usize, rounds: u64) -> ChurnSoakEntry {
+    let ids = evenly_spaced_ids(n);
+    let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 7);
+    net.set_schedule_mode(ScheduleMode::ActiveSet);
+    // Settle, but don't wait for true quiescence: the initial rounds
+    // launch ring-validation probe walks that take ~n O(1) rounds to
+    // come home (see the stepengine bench). A couple of full rounds
+    // collapse the agenda to the walk frontiers; soaking with the walks
+    // in flight is the realistic steady state of a ring this size.
+    let mut settle = 0u64;
+    while net.active_count() > 8 && settle < 2_000 {
+        net.step();
+        settle += 1;
+    }
+    // Shed the settle rounds' stats rows before the timed window.
+    drop(net.take_trace());
+    // A local membership mirror keeps contact/victim selection O(1) —
+    // `Network::ids` would allocate an n-element vector per event.
+    let mut live: Vec<NodeId> = ids;
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut next_join_bits = 1u64;
+    let (mut joins, mut leaves, mut active_sum) = (0u64, 0u64, 0u64);
+    let start = Instant::now();
+    for round in 0..rounds {
+        if round % 16 == 0 {
+            // One join: a fresh odd id announced to a random live node.
+            let joiner = NodeId::from_bits(next_join_bits);
+            next_join_bits += 2;
+            if net.insert_node(Node::new(joiner, ProtocolConfig::default())) {
+                let contact = live[rng.random_range(0..live.len())];
+                net.send_external(contact, Message::Lin(joiner));
+                live.push(joiner);
+                joins += 1;
+            }
+            // One leave: a random live node vanishes without notice.
+            let k = rng.random_range(0..live.len());
+            let victim = live.swap_remove(k);
+            net.remove_node(victim);
+            leaves += 1;
+        }
+        active_sum += net.active_count() as u64;
+        net.step();
+    }
+    let ns_per_round = start.elapsed().as_secs_f64() * 1e9 / rounds as f64;
+    ChurnSoakEntry {
+        n,
+        rounds,
+        joins,
+        leaves,
+        ns_per_round,
+        mean_active: active_sum as f64 / rounds as f64,
+    }
+}
+
+/// Runs both scenarios and emits `BENCH_scale.json`.
+fn emit_scale_record(_c: &mut Criterion) {
+    let quick = quick_mode();
+    let (ring_n, corruptions) = if quick { (10_000, 16) } else { (100_000, 64) };
+    let (soak_n, soak_rounds) = if quick {
+        (20_000, 200)
+    } else {
+        (1_000_000, 1_000)
+    };
+
+    let run_to_ring = measure_run_to_ring(ring_n, corruptions);
+    println!(
+        "scale run_to_ring n={}: {:.0} ms wall, {} rounds, {} messages ({} corruptions)",
+        run_to_ring.n,
+        run_to_ring.wall_ms,
+        run_to_ring.rounds_to_ring,
+        run_to_ring.messages_to_ring,
+        run_to_ring.corruptions,
+    );
+
+    let churn_soak = measure_churn_soak(soak_n, soak_rounds);
+    println!(
+        "scale churn_soak n={}: {:.0} ns/round over {} rounds ({} joins, {} leaves, \
+         mean {:.1} active/round)",
+        churn_soak.n,
+        churn_soak.ns_per_round,
+        churn_soak.rounds,
+        churn_soak.joins,
+        churn_soak.leaves,
+        churn_soak.mean_active,
+    );
+
+    let record = ScaleRecord {
+        quick,
+        run_to_ring,
+        churn_soak,
+    };
+    let json = serde_json::to_string(&record).expect("serialize scale record");
+    let path = out_path();
+    std::fs::write(&path, json).expect("write BENCH_scale.json");
+    println!("scale record -> {}", path.display());
+}
+
+criterion_group!(benches, emit_scale_record);
+criterion_main!(benches);

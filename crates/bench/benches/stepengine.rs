@@ -24,10 +24,20 @@
 //! is always printed, and with `SWN_BENCH_ENFORCE=1` a noop regression
 //! beyond 3% fails the bench.
 //!
+//! Since the active-set scheduler landed (DESIGN.md §12) the record also
+//! carries a `stable_round` section: the cost of one *quiescent* round
+//! under [`ScheduleMode::ActiveSet`] at n ∈ {2048, 8192, 65536}, next to
+//! the full-scan stable round at the same size. A quiescent round visits
+//! no node at all, so its cost must be (near-)flat in n — the scaling
+//! guard prints the 65536/2048 ratio and, under `SWN_BENCH_ENFORCE=1`,
+//! fails the bench when it exceeds 4× (the full-scan engine is ~linear,
+//! i.e. ~32× over that span).
+//!
 //! `SWN_BENCH_QUICK=1` shrinks sizes and iteration counts so CI can
 //! smoke-run the bench in seconds.
 //!
 //! [`SlotIndex`]: swn_sim::slots::SlotIndex
+//! [`ScheduleMode::ActiveSet`]: swn_sim::ScheduleMode::ActiveSet
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -43,16 +53,22 @@ use swn_core::invariants::make_sorted_ring;
 use swn_core::message::{Message, MessageKind};
 use swn_core::outbox::Outbox;
 use swn_sim::channel::{Channel, DeliveryPolicy};
+use swn_sim::convergence::drain_to_quiescence;
 use swn_sim::obs::JsonlSink;
 use swn_sim::slots::SlotIndex;
 use swn_sim::trace::RoundStats;
-use swn_sim::Network;
+use swn_sim::{Network, ScheduleMode};
 
 /// Sampling interval for the instrumented whole-step measurement.
 const OBS_SAMPLE_EVERY: u64 = 16;
 
 /// Allowed regression of the noop step against the committed baseline.
 const NOOP_GUARD: f64 = 1.03;
+
+/// Allowed growth of the quiescent-round cost from n = 2048 to
+/// n = 65536. A quiescent round is O(1) — an empty agenda shuffle and a
+/// default stats row — so 32× more nodes must not cost more than 4×.
+const QUIESCENT_SCALE_GUARD: f64 = 4.0;
 
 fn quick_mode() -> bool {
     std::env::var_os("SWN_BENCH_QUICK").is_some()
@@ -119,10 +135,28 @@ struct PhaseEntry {
     stats_ns_per_round: f64,
 }
 
+/// One size's stable-round pair: the active-set quiescent round against
+/// the full-scan stable round, both on a converged sorted ring.
+#[derive(Serialize)]
+struct StableRoundEntry {
+    n: usize,
+    /// Rounds the freshly scheduled ring needed to drain its agenda.
+    drain_rounds: u64,
+    /// One quiescent `Network::step` under `ScheduleMode::ActiveSet` —
+    /// empty agenda, zero node turns, zero RNG draws.
+    stable_round_ns: f64,
+    /// One full-scan stable round at the same n (every node acts, the
+    /// perpetual lrl walk keeps ~n messages in flight).
+    full_scan_round_ns: f64,
+    /// `full_scan / stable` — what quiescence detection buys per round.
+    active_speedup: f64,
+}
+
 #[derive(Serialize)]
 struct StepengineRecord {
     quick: bool,
     entries: Vec<PhaseEntry>,
+    stable_round: Vec<StableRoundEntry>,
 }
 
 /// The subset of a previously committed record the overhead guard
@@ -199,6 +233,69 @@ fn guard_against_previous(record: &StepengineRecord, path: &std::path::Path) {
             e.n
         );
     }
+}
+
+/// Stable-round pair: a converged ring under the active-set scheduler
+/// drains its agenda, then every further step is a quiescent round; the
+/// full-scan half re-measures `measure_step` at the same size.
+fn measure_stable_round(n: usize, quick: bool) -> StableRoundEntry {
+    let ids = evenly_spaced_ids(n);
+    let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 7);
+    net.set_schedule_mode(ScheduleMode::ActiveSet);
+    // The first active rounds launch the ring-validation probe walks,
+    // which traverse the whole ring one hop per round — so a fresh ring
+    // needs ~n rounds (each O(1): just the walk frontier is active)
+    // before the agenda is truly empty. The cap scales accordingly.
+    let drain_rounds = drain_to_quiescence(&mut net, 4 * n as u64 + 1000).expect("ring must drain");
+    // Shed the ~n drain rounds' stats rows: the timed loop below then
+    // does identical trace work at every n (a quiescent round's only
+    // memory traffic is its stats row), so the sizes compare fairly.
+    drop(net.take_trace());
+    let iters = if quick { 5_000 } else { 50_000 };
+    let stable = ns_per(iters, || {
+        net.step();
+        black_box(net.round());
+    });
+    // Full-scan rounds are ~linear in n; cap the big sizes' sample so
+    // the reference half stays a second, not a minute.
+    let full_rounds = match (quick, n) {
+        (true, _) => 30,
+        (false, n) if n >= 65_536 => 60,
+        (false, _) => 200,
+    };
+    let full = measure_step(n, full_rounds, false);
+    StableRoundEntry {
+        n,
+        drain_rounds,
+        stable_round_ns: stable,
+        full_scan_round_ns: full,
+        active_speedup: full / stable.max(1e-9),
+    }
+}
+
+/// Prints (and under `SWN_BENCH_ENFORCE=1` asserts) the quiescent-round
+/// scaling ratio between n = 2048 and n = 65536. Quick mode runs a
+/// single size, so the guard reports itself skipped there.
+fn guard_quiescent_scaling(stable: &[StableRoundEntry]) {
+    let at = |n: usize| stable.iter().find(|e| e.n == n);
+    let (Some(small), Some(big)) = (at(2048), at(65_536)) else {
+        println!("stepengine guard: stable-round scaling needs n=2048 and n=65536 — skipped");
+        return;
+    };
+    let enforce = std::env::var_os("SWN_BENCH_ENFORCE").is_some();
+    let ratio = big.stable_round_ns / small.stable_round_ns.max(1e-9);
+    println!(
+        "stepengine guard: quiescent round {:.0} ns @ n=65536 vs {:.0} ns @ n=2048 \
+         ({ratio:.3}x, limit {QUIESCENT_SCALE_GUARD}x{})",
+        big.stable_round_ns,
+        small.stable_round_ns,
+        if enforce { ", enforced" } else { "" },
+    );
+    assert!(
+        !enforce || ratio <= QUIESCENT_SCALE_GUARD,
+        "quiescent round cost is not flat in n: {ratio:.3}x > {QUIESCENT_SCALE_GUARD}x \
+         between n=2048 and n=65536"
+    );
 }
 
 /// Route phase: dense `SlotIndex` vs the `BTreeMap` oracle over an
@@ -335,6 +432,7 @@ fn phase_entry(n: usize, quick: bool) -> PhaseEntry {
 fn emit_stepengine_record(_c: &mut Criterion) {
     let quick = quick_mode();
     let sizes: &[usize] = if quick { &[256] } else { &[2048, 8192] };
+    let stable_sizes: &[usize] = if quick { &[256] } else { &[2048, 8192, 65_536] };
     let entries: Vec<PhaseEntry> = sizes.iter().map(|&n| phase_entry(n, quick)).collect();
     for e in &entries {
         println!(
@@ -354,7 +452,23 @@ fn emit_stepengine_record(_c: &mut Criterion) {
             e.stats_ns_per_round,
         );
     }
-    let record = StepengineRecord { quick, entries };
+    let stable_round: Vec<StableRoundEntry> = stable_sizes
+        .iter()
+        .map(|&n| measure_stable_round(n, quick))
+        .collect();
+    for e in &stable_round {
+        println!(
+            "stepengine stable_round n={}: quiescent {:.0} ns/round vs full-scan {:.0} ns/round \
+             ({:.1}x) after {} drain rounds",
+            e.n, e.stable_round_ns, e.full_scan_round_ns, e.active_speedup, e.drain_rounds,
+        );
+    }
+    guard_quiescent_scaling(&stable_round);
+    let record = StepengineRecord {
+        quick,
+        entries,
+        stable_round,
+    };
     let path = out_path();
     guard_against_previous(&record, &path);
     let json = serde_json::to_string(&record).expect("serialize bench record");
@@ -458,6 +572,22 @@ fn bench_phases(c: &mut Criterion) {
         },
     );
     obs_net.detach_sink();
+    // The quiescent round under the active-set scheduler — the number
+    // the 4x scaling guard pins, with criterion statistics behind it.
+    let mut q_net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 7);
+    q_net.set_schedule_mode(ScheduleMode::ActiveSet);
+    drain_to_quiescence(&mut q_net, 4 * step_n as u64 + 1000).expect("ring must drain");
+    drop(q_net.take_trace());
+    group.bench_with_input(
+        BenchmarkId::new("quiescent_step", step_n),
+        &step_n,
+        |b, _| {
+            b.iter(|| {
+                q_net.step();
+                black_box(q_net.round())
+            });
+        },
+    );
     group.finish();
 }
 

@@ -13,6 +13,11 @@
 //! partition) or clear a crashed node's queue wholesale. The channel
 //! itself never loses an enqueued message; all loss is injected above it
 //! and accounted separately (`dropped_fault` in the round stats).
+//!
+//! Channels also feed the active-set scheduler (DESIGN.md §12): enqueueing
+//! into a node's channel is what puts that node back on the round agenda,
+//! so the fair-receipt bound doubles as the scheduler's no-starvation
+//! argument — a non-empty channel keeps its owner scheduled until drained.
 
 use rand::seq::SliceRandom;
 use rand::{Rng, RngExt as _};

@@ -123,6 +123,31 @@ pub fn run_to_ring(net: &mut Network, max_rounds: u64) -> ConvergenceReport {
     report
 }
 
+/// Runs `net` until [`Network::is_quiescent`] reports an empty agenda
+/// (or `max_rounds` pass), returning the number of rounds stepped, or
+/// `None` on timeout. Only meaningful under
+/// [`ScheduleMode::ActiveSet`](crate::sched::ScheduleMode::ActiveSet) —
+/// a full-scan network is never quiescent, so the call times out.
+///
+/// On a converged fault-free ring this drains in a handful of rounds:
+/// the first active round verifies every certificate, the next ones
+/// deliver the in-flight tail (fixpoint re-advertisements, `res_lrl`
+/// answers), after which the agenda is empty and every subsequent
+/// [`Network::step`] is a no-op on node, channel and RNG state (pinned
+/// by `tests/quiescence_prop.rs`).
+pub fn drain_to_quiescence(net: &mut Network, max_rounds: u64) -> Option<u64> {
+    for k in 0..=max_rounds {
+        if net.is_quiescent() {
+            return Some(k);
+        }
+        if k == max_rounds {
+            break;
+        }
+        net.step();
+    }
+    None
+}
+
 /// Emits a `Transition` timeline event for every milestone the report
 /// reached that has not been announced yet (no-op without a sink). Event
 /// labels: `"lcc"`, `"list"`, `"ring"`; rounds count from the start of

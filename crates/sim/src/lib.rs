@@ -19,7 +19,10 @@
 //!   (Theorem 4.24);
 //! * [`parallel`] — multi-seed trial execution across threads;
 //! * [`persist`] — JSON checkpointing of global states;
-//! * [`slots`] — the dense id→slot index behind O(1) message routing;
+//! * [`slots`] — the dense id→slot index behind O(1) message routing,
+//!   with the incrementally maintained sorted order;
+//! * [`sched`] — the active-set scheduler: O(work) rounds and
+//!   quiescence detection on stabilized networks;
 //! * [`obs`] — zero-overhead observability: pluggable sinks, sampled
 //!   phase timers, online histograms and convergence timeline events;
 //! * [`faults`] — deterministic fault injection (loss/duplication
@@ -52,8 +55,10 @@ pub mod network;
 pub mod obs;
 pub mod parallel;
 pub mod persist;
+pub mod sched;
 pub mod slots;
 pub mod trace;
 
 pub use channel::DeliveryPolicy;
 pub use network::Network;
+pub use sched::ScheduleMode;

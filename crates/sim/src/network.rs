@@ -8,12 +8,20 @@
 //! action executes — weak fairness; every old message is offered for
 //! delivery — fair receipt).
 //!
+//! Under [`ScheduleMode::ActiveSet`] the round activates only the nodes
+//! the scheduler put on the agenda (pending mail, an unverified local
+//! state, a churn/fault touch) instead of every live node — see
+//! [`crate::sched`] for the settlement certificate and the quiescence
+//! invariant. The default [`ScheduleMode::FullScan`] is the paper's
+//! schedule and stays byte-identical to the pre-scheduler engine.
+//!
 //! The whole run is deterministic in the seed: the same seed, initial
 //! state and policy replay the exact same computation.
 
 use crate::channel::{Channel, DeliveryPolicy};
 use crate::faults::{Fate, FaultInjector, FaultPlan};
 use crate::obs::{Event, ObsState, Sink};
+use crate::sched::{SchedState, ScheduleMode};
 use crate::slots::SlotIndex;
 use crate::trace::{RoundStats, Trace};
 use rand::rngs::StdRng;
@@ -39,12 +47,6 @@ pub struct Network {
     outbox: Outbox,
     tracked: Option<NodeId>,
     tracked_forwarders: std::collections::BTreeSet<NodeId>,
-    // The live slots in ascending id order — the deterministic base
-    // order every round is shuffled from. Rebuilt from the ordered index
-    // only after churn (`order_dirty`), so steady-state rounds start
-    // from a plain memcpy instead of a BTreeMap traversal.
-    sorted_slots: Vec<usize>,
-    order_dirty: bool,
     // Per-round scratch buffers, reused across `step` calls so the round
     // loop allocates nothing in steady state. Taken with `mem::take`
     // while in use and put back afterwards.
@@ -59,6 +61,10 @@ pub struct Network {
     // Same dispatch scheme as `obs` — a second const-generic arm keeps
     // the fault-free round loop byte-identical.
     faults: Option<Box<FaultInjector>>,
+    // Active-set scheduler: present iff `ScheduleMode::ActiveSet` is
+    // selected (`set_schedule_mode`). Third const-generic arm, same
+    // zero-cost dispatch scheme as `obs` and `faults`.
+    sched: Option<Box<SchedState>>,
     seed: u64,
 }
 
@@ -75,11 +81,17 @@ impl Network {
     /// Panics on duplicate node ids or invalid policy/config parameters.
     pub fn with_policy(nodes: Vec<Node>, seed: u64, policy: DeliveryPolicy) -> Self {
         policy.validate().expect("invalid delivery policy");
-        let mut index = SlotIndex::new();
+        let mut pairs = Vec::with_capacity(nodes.len());
         for (i, n) in nodes.iter().enumerate() {
             n.config().validate().expect("invalid protocol config");
-            assert!(index.insert(n.id(), i), "duplicate node id {:?}", n.id());
+            pairs.push((n.id(), i));
         }
+        // Bulk build: one sort instead of n splices, so million-node
+        // constructions stay O(n log n) (linear for sorted generators).
+        let index = match SlotIndex::from_pairs(pairs) {
+            Ok(idx) => idx,
+            Err(dup) => panic!("duplicate node id {dup:?}"),
+        };
         let channels = vec![Channel::new(); nodes.len()];
         Network {
             nodes: nodes.into_iter().map(Some).collect(),
@@ -93,12 +105,11 @@ impl Network {
             outbox: Outbox::new(),
             tracked: None,
             tracked_forwarders: Default::default(),
-            sorted_slots: Vec::new(),
-            order_dirty: true,
             order_buf: Vec::new(),
             inbox_buf: Vec::new(),
             obs: None,
             faults: None,
+            sched: None,
             seed,
         }
     }
@@ -178,6 +189,60 @@ impl Network {
         self.faults.as_deref()
     }
 
+    /// Selects the round schedule. [`ScheduleMode::FullScan`] (the
+    /// default) runs every live node every round; switching to it drops
+    /// any scheduler state. [`ScheduleMode::ActiveSet`] starts the
+    /// active-set engine with every live node on the agenda, unsettled —
+    /// the scheduler earns its certificates from scratch, so switching
+    /// is always safe, at the cost of one full round of verification.
+    ///
+    /// The two modes are *semantically* equivalent (both converge to the
+    /// same sorted ring — pinned by `tests/active_set_prop.rs`) but not
+    /// bit-for-bit: the active set changes which nodes act, hence the
+    /// RNG schedule, and settled nodes pause their lrl walk, ages and
+    /// probe ticks (see [`crate::sched`]).
+    pub fn set_schedule_mode(&mut self, mode: ScheduleMode) {
+        match mode {
+            ScheduleMode::FullScan => {
+                self.sched = None;
+            }
+            ScheduleMode::ActiveSet => {
+                let mut st = Box::new(SchedState::new(self.nodes.len()));
+                for &slot in self.index.sorted_slots() {
+                    st.schedule(slot);
+                }
+                self.sched = Some(st);
+            }
+        }
+    }
+
+    /// The active schedule mode.
+    pub fn schedule_mode(&self) -> ScheduleMode {
+        if self.sched.is_some() {
+            ScheduleMode::ActiveSet
+        } else {
+            ScheduleMode::FullScan
+        }
+    }
+
+    /// Nodes scheduled to act in the next round: an upper bound under
+    /// [`ScheduleMode::ActiveSet`] (agenda entries whose slot has died
+    /// are filtered at round start), every live node under
+    /// [`ScheduleMode::FullScan`].
+    pub fn active_count(&self) -> usize {
+        match self.sched.as_ref() {
+            Some(s) => s.active_len(),
+            None => self.index.len(),
+        }
+    }
+
+    /// True when the next round is provably a no-op on node and channel
+    /// state: active-set mode with an empty agenda. Always false under
+    /// [`ScheduleMode::FullScan`].
+    pub fn is_quiescent(&self) -> bool {
+        self.sched.as_ref().is_some_and(|s| s.active_len() == 0)
+    }
+
     /// Emits an event to the attached sink, if any (no-op otherwise).
     /// Used by the convergence and churn drivers for timeline events
     /// (phase transitions, recovery spans).
@@ -225,6 +290,17 @@ impl Network {
         &self.trace
     }
 
+    /// Takes the metrics trace accumulated so far, leaving an empty one
+    /// behind. Every round appends a [`RoundStats`] row (~230 bytes), so
+    /// long-lived large-n runs — a million-node soak, a quiescent
+    /// network idling for millions of rounds — drain the trace
+    /// periodically instead of letting it grow without bound. Taking the
+    /// trace changes nothing about the computation: state, RNG stream
+    /// and future rounds are unaffected.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
     /// The live node with the given id.
     pub fn node(&self, id: NodeId) -> Option<&Node> {
         self.index.get(id).and_then(|i| self.nodes[i].as_ref())
@@ -242,22 +318,33 @@ impl Network {
             // Enqueue as "already in flight" so it is deliverable in the
             // very next round.
             self.channels[i].push(msg, self.round.saturating_sub(1));
+            if let Some(sched) = self.sched.as_mut() {
+                sched.schedule(i);
+            }
         }
     }
 
     /// Executes one round; returns its stats (also appended to the trace).
     pub fn step(&mut self) -> RoundStats {
-        // Dispatch to one of four monomorphizations: with no sink and no
-        // fault plan attached the `OBS = false, FAULTS = false` copy
-        // runs, in which every observer and injector branch below is
+        // Dispatch to one of eight monomorphizations: with no sink, no
+        // fault plan and no scheduler attached the all-false copy runs,
+        // in which every observer/injector/scheduler branch below is
         // constant-folded away — it compiles to exactly the
         // pre-observability round loop (guarded by the stepengine bench's
         // instrumented-vs-noop pair).
-        match (self.obs.is_some(), self.faults.is_some()) {
-            (false, false) => self.step_impl::<false, false>(false),
-            (true, false) => self.step_impl::<true, false>(false),
-            (false, true) => self.step_impl::<false, true>(false),
-            (true, true) => self.step_impl::<true, true>(false),
+        match (
+            self.obs.is_some(),
+            self.faults.is_some(),
+            self.sched.is_some(),
+        ) {
+            (false, false, false) => self.step_impl::<false, false, false>(false),
+            (true, false, false) => self.step_impl::<true, false, false>(false),
+            (false, true, false) => self.step_impl::<false, true, false>(false),
+            (true, true, false) => self.step_impl::<true, true, false>(false),
+            (false, false, true) => self.step_impl::<false, false, true>(false),
+            (true, false, true) => self.step_impl::<true, false, true>(false),
+            (false, true, true) => self.step_impl::<false, true, true>(false),
+            (true, true, true) => self.step_impl::<true, true, true>(false),
         }
     }
 
@@ -266,10 +353,10 @@ impl Network {
     /// proptest (see the `tests` module and DESIGN.md §8).
     #[cfg(test)]
     fn step_reference(&mut self) -> RoundStats {
-        self.step_impl::<false, false>(true)
+        self.step_impl::<false, false, false>(true)
     }
 
-    fn step_impl<const OBS: bool, const FAULTS: bool>(
+    fn step_impl<const OBS: bool, const FAULTS: bool, const ACTIVE: bool>(
         &mut self,
         flush_per_message: bool,
     ) -> RoundStats {
@@ -295,14 +382,25 @@ impl Network {
 
         let mut order = std::mem::take(&mut self.order_buf);
         timed(sample, &mut ph[0], || {
-            if self.order_dirty {
-                self.sorted_slots.clear();
-                self.sorted_slots.extend(self.index.slots_by_id());
-                self.order_dirty = false;
-            }
             order.clear();
-            order.extend_from_slice(&self.sorted_slots);
-            order.shuffle(&mut self.rng);
+            if ACTIVE {
+                // Drain the agenda, drop slots that died since they were
+                // scheduled, and canonicalize to ascending id order so
+                // the shuffle below is a pure function of the RNG stream
+                // and the *set* of active nodes — never of the order in
+                // which scheduling happened to discover them. An empty
+                // agenda (quiescence) draws nothing from the RNG.
+                let sched = self.sched.as_mut().expect("ACTIVE implies scheduler");
+                sched.begin_round(&mut order);
+                order.retain(|&s| self.nodes[s].is_some());
+                order.sort_unstable_by_key(|&s| self.nodes[s].as_ref().expect("retained").id());
+                order.shuffle(&mut self.rng);
+            } else {
+                // Full scan: every live slot, memcpy'd off the index's
+                // incrementally maintained sorted lane.
+                order.extend_from_slice(self.index.sorted_slots());
+                order.shuffle(&mut self.rng);
+            }
         });
 
         let mut inbox = std::mem::take(&mut self.inbox_buf);
@@ -318,6 +416,16 @@ impl Network {
                     continue;
                 }
             }
+            // The settlement machinery diffs the whole turn (deliveries
+            // *and* regular action) against this tuple — reciprocity is
+            // mutual, so the far end of every certificate this turn can
+            // break is a target in the before- or after-tuple.
+            let turn_before = if ACTIVE {
+                let n = self.nodes[i].as_ref().expect("checked above");
+                Some((n.left(), n.right(), n.ring()))
+            } else {
+                None
+            };
             // Receive actions: all eligible messages, shuffled. The
             // outbox is flushed once per action *batch*, not per message.
             // Flushing consumes no RNG and channel pushes keep their
@@ -366,29 +474,43 @@ impl Network {
                     let node = self.nodes[i].as_mut().expect("checked above");
                     node.on_message(m, &mut self.rng, &mut self.outbox);
                     if flush_per_message {
-                        self.flush_outbox::<OBS, FAULTS>(i, now, &mut stats);
+                        self.flush_outbox::<OBS, FAULTS, ACTIVE>(i, now, &mut stats);
                     }
                 }
             });
             timed(sample, &mut ph[3], || {
-                self.flush_outbox::<OBS, FAULTS>(i, now, &mut stats);
+                self.flush_outbox::<OBS, FAULTS, ACTIVE>(i, now, &mut stats);
             });
-            // Regular action. The handler can silently rewrite link state
-            // (sanitation normalizes without emitting events), so compare
-            // the link tuple around the call for the dirty flag.
-            let node = self.nodes[i].as_ref().expect("checked above");
-            let links_before = (node.left(), node.right(), node.lrl(), node.ring());
-            timed(sample, &mut ph[2], || {
-                let node = self.nodes[i].as_mut().expect("checked above");
-                node.on_regular(&mut self.outbox);
-            });
-            let node = self.nodes[i].as_ref().expect("checked above");
-            if (node.left(), node.right(), node.lrl(), node.ring()) != links_before {
-                stats.links_changed = true;
+            // Regular action — skipped for settled nodes under ActiveSet:
+            // the verified certificate says it could only re-send
+            // fixpoint no-ops, and the lrl walk pauses by design (see
+            // `crate::sched`). The handler can silently rewrite link
+            // state (sanitation normalizes without emitting events), so
+            // compare the link tuple around the call for the dirty flag.
+            let run_regular = !ACTIVE
+                || !self
+                    .sched
+                    .as_ref()
+                    .expect("ACTIVE implies scheduler")
+                    .is_settled(i);
+            if run_regular {
+                let node = self.nodes[i].as_ref().expect("checked above");
+                let links_before = (node.left(), node.right(), node.lrl(), node.ring());
+                timed(sample, &mut ph[2], || {
+                    let node = self.nodes[i].as_mut().expect("checked above");
+                    node.on_regular(&mut self.outbox);
+                });
+                let node = self.nodes[i].as_ref().expect("checked above");
+                if (node.left(), node.right(), node.lrl(), node.ring()) != links_before {
+                    stats.links_changed = true;
+                }
+                timed(sample, &mut ph[3], || {
+                    self.flush_outbox::<OBS, FAULTS, ACTIVE>(i, now, &mut stats);
+                });
             }
-            timed(sample, &mut ph[3], || {
-                self.flush_outbox::<OBS, FAULTS>(i, now, &mut stats);
-            });
+            if ACTIVE {
+                self.finish_turn(i, turn_before.expect("set above"));
+            }
         }
         inbox.clear();
         self.inbox_buf = inbox;
@@ -432,11 +554,11 @@ impl Network {
         }
         // lrl ring length: the circular rank distance from each node to
         // its token endpoint, 0 when the token sits at its origin. The
-        // scan walks `sorted_slots` (ascending id order, rebuilt this
-        // round if dirty) and rank-resolves endpoints by binary search.
+        // scan walks the index's sorted lane (ascending id order, always
+        // current) and rank-resolves endpoints by binary search.
         let mut scratch = std::mem::take(&mut obs.lrl_scratch);
         scratch.clear();
-        for &slot in &self.sorted_slots {
+        for &slot in self.index.sorted_slots() {
             if let Some(n) = &self.nodes[slot] {
                 scratch.push((n.id(), n.lrl()));
             }
@@ -547,7 +669,9 @@ impl Network {
             }
         };
         self.index.insert(id, slot);
-        self.order_dirty = true;
+        if self.sched.is_some() {
+            self.on_insert_sched(id, slot);
+        }
         true
     }
 
@@ -567,8 +691,11 @@ impl Network {
         self.tracked_forwarders.remove(&id);
         self.free.push(slot);
         self.channels[slot].clear();
-        self.order_dirty = true;
-        self.nodes[slot].take()
+        let node = self.nodes[slot].take();
+        if self.sched.is_some() {
+            self.on_remove_sched(id, slot);
+        }
+        node
     }
 
     /// Sends `msg` to `dest` as an external input (e.g. a joining node's
@@ -576,13 +703,16 @@ impl Network {
     pub fn send_external(&mut self, dest: NodeId, msg: Message) -> bool {
         if let Some(i) = self.index.get(dest) {
             self.channels[i].push(msg, self.round);
+            if let Some(sched) = self.sched.as_mut() {
+                sched.schedule(i);
+            }
             true
         } else {
             false
         }
     }
 
-    fn flush_outbox<const OBS: bool, const FAULTS: bool>(
+    fn flush_outbox<const OBS: bool, const FAULTS: bool, const ACTIVE: bool>(
         &mut self,
         sender: usize,
         now: u64,
@@ -600,6 +730,7 @@ impl Network {
             tracked_forwarders,
             obs,
             faults,
+            sched,
             ..
         } = self;
         let sender_id = if FAULTS {
@@ -656,6 +787,14 @@ impl Network {
                     if FAULTS && duplicate {
                         channels[j].push(msg, now);
                     }
+                    if ACTIVE {
+                        // Mail wakes its recipient: settled or not, the
+                        // destination must run its receive action next
+                        // round.
+                        if let Some(s) = sched.as_mut() {
+                            s.schedule(j);
+                        }
+                    }
                 }
                 None => {
                     // The destination left the network. The sender detects
@@ -674,6 +813,14 @@ impl Network {
                             if x != dest && index.contains(x) {
                                 channels[sender].push(msg, now);
                                 bounced = true;
+                            }
+                        }
+                        if ACTIVE {
+                            // The bounce (and the dangling-pointer clear,
+                            // caught by the caller's turn diff) keeps the
+                            // sender active until reprocessed.
+                            if let Some(s) = sched.as_mut() {
+                                s.schedule(sender);
                             }
                         }
                     }
@@ -702,6 +849,14 @@ impl Network {
         };
         for id in inj.take_restarts(now) {
             stats.links_changed = true;
+            if let Some(sched) = self.sched.as_mut() {
+                // The blank node rejoins the loop this round: unsettled
+                // (its state is a fresh isolated node) and scheduled.
+                if let Some(slot) = self.index.get(id) {
+                    sched.set_settled(slot, false);
+                    sched.schedule(slot);
+                }
+            }
             self.emit(Event::Fault {
                 round: now,
                 kind: "restart".to_string(),
@@ -728,15 +883,26 @@ impl Network {
                 inj.note_drop(now, c.node, c.node, m);
                 lost += 1;
             }
-            let cfg = *self.nodes[slot]
-                .as_ref()
-                .expect("indexed slot is live")
-                .config();
+            let victim = self.nodes[slot].as_ref().expect("indexed slot is live");
+            let cfg = *victim.config();
+            // The settled neighbours' certificates reference the victim's
+            // pre-crash pointers (reciprocity, ring pairing); capture the
+            // targets before blanking so they can be re-verified.
+            let old_targets = [victim.left().fin(), victim.right().fin(), victim.ring()];
             self.nodes[slot] = Some(Node::new(c.node, cfg));
             self.channels[slot].clear();
             inj.mark_down(c.node, now.saturating_add(c.down_for));
             stats.dropped_fault += lost;
             stats.links_changed = true;
+            if self.sched.is_some() {
+                self.sched
+                    .as_mut()
+                    .expect("checked above")
+                    .set_settled(slot, false);
+                for t in old_targets.into_iter().flatten() {
+                    self.recheck_settled(t);
+                }
+            }
             self.emit(Event::Fault {
                 round: now,
                 kind: "crash".to_string(),
@@ -761,11 +927,22 @@ impl Network {
                 // knowledge graph weakly connected, so the damage is
                 // recoverable by Theorem 4.3 (see faults.rs docs).
                 let l = node.left();
+                // The rewritten pointers' old reciprocal holders need
+                // their certificates re-verified (`l` is kept, so its
+                // target's certificate still holds).
+                let old_targets = [node.right().fin(), node.ring()];
                 let r = Extended::Fin(inj.pick_one(&live));
                 let lrl = inj.pick_one(&live);
                 let ring = Some(inj.pick_one(&live));
                 self.nodes[slot] = Some(Node::with_state(v, l, r, lrl, ring, cfg));
                 stats.links_changed = true;
+                if let Some(sched) = self.sched.as_mut() {
+                    sched.set_settled(slot, false);
+                    sched.schedule(slot);
+                    for t in old_targets.into_iter().flatten() {
+                        self.recheck_settled(t);
+                    }
+                }
             }
             self.emit(Event::Fault {
                 round: now,
@@ -774,6 +951,211 @@ impl Network {
             });
         }
         self.faults = Some(inj);
+    }
+
+    /// End-of-turn settlement bookkeeping (ActiveSet only): diff the
+    /// turn's `(l, r, ring)` tuple to re-verify the certificates this
+    /// turn can have invalidated, verify the node's own certificate, and
+    /// reschedule it while it is unsettled or holds queued mail.
+    ///
+    /// The diff is complete for *other* nodes' certificates because
+    /// reciprocity is mutual: a certificate of `q` references `p`'s
+    /// state only when `p` is a list/ring target of `q` and vice versa,
+    /// so whichever edge this turn broke or created has its far end in
+    /// the before- or after-tuple.
+    fn finish_turn(&mut self, i: usize, before: (Extended, Extended, Option<NodeId>)) {
+        let Some(n) = self.nodes[i].as_ref() else {
+            return;
+        };
+        let after = (n.left(), n.right(), n.ring());
+        if after != before {
+            let targets = [
+                before.0.fin(),
+                before.1.fin(),
+                before.2,
+                after.0.fin(),
+                after.1.fin(),
+                after.2,
+            ];
+            for t in targets.into_iter().flatten() {
+                self.recheck_settled(t);
+            }
+        }
+        let ok = self.node_settled(i);
+        let mail = !self.channels[i].is_empty();
+        let sched = self.sched.as_mut().expect("ACTIVE implies scheduler");
+        sched.set_settled(i, ok);
+        if !ok || mail {
+            sched.schedule(i);
+        }
+    }
+
+    /// Re-verifies a *settled* node's certificate after someone else's
+    /// state changed; unsettles and schedules it when the certificate no
+    /// longer holds. No-op for unsettled or absent ids (unsettled nodes
+    /// re-verify at the end of their own next turn).
+    fn recheck_settled(&mut self, id: NodeId) {
+        let Some(sched) = self.sched.as_ref() else {
+            return;
+        };
+        let Some(slot) = self.index.get(id) else {
+            return;
+        };
+        if !sched.is_settled(slot) {
+            return;
+        }
+        if !self.node_settled(slot) {
+            let sched = self.sched.as_mut().expect("present above");
+            sched.set_settled(slot, false);
+            sched.schedule(slot);
+        }
+    }
+
+    /// The settlement certificate (see `crate::sched`): true exactly
+    /// when the node's regular action is a verified fixpoint no-op —
+    /// every finite list pointer properly sided and reciprocated by a
+    /// live neighbour, `±∞` sides only at the global extremes with the
+    /// cross-ring edges mutually paired, no leftover interior ring edge,
+    /// and a live (or self) lrl endpoint.
+    fn node_settled(&self, slot: usize) -> bool {
+        let Some(n) = self.nodes[slot].as_ref() else {
+            return false;
+        };
+        let id = n.id();
+        // A dangling token endpoint would make the next inc_lrl bounce
+        // and rewrite state.
+        if n.lrl() != id && !self.index.contains(n.lrl()) {
+            return false;
+        }
+        let min = self.index.min_id().expect("slot is live");
+        let max = self.index.max_id().expect("slot is live");
+        let seam_l = match n.left() {
+            Extended::NegInf => {
+                if id != min {
+                    return false;
+                }
+                true
+            }
+            Extended::Fin(a) => {
+                if a >= id {
+                    return false;
+                }
+                let Some(an) = self.index.get(a).and_then(|s| self.nodes[s].as_ref()) else {
+                    return false;
+                };
+                if an.right() != Extended::Fin(id) {
+                    return false;
+                }
+                false
+            }
+            Extended::PosInf => return false,
+        };
+        let seam_r = match n.right() {
+            Extended::PosInf => {
+                if id != max {
+                    return false;
+                }
+                true
+            }
+            Extended::Fin(b) => {
+                if b <= id {
+                    return false;
+                }
+                let Some(bn) = self.index.get(b).and_then(|s| self.nodes[s].as_ref()) else {
+                    return false;
+                };
+                if bn.left() != Extended::Fin(id) {
+                    return false;
+                }
+                false
+            }
+            Extended::NegInf => return false,
+        };
+        match (seam_l, seam_r) {
+            // The sole node: nothing to link; its ring edge (self or
+            // absent after sanitation) is inert.
+            (true, true) => true,
+            // Interior node: a leftover ring edge would be sanitized
+            // away on its next action — a state change.
+            (false, false) => n.ring().is_none(),
+            // Seam nodes must hold the *global* opposite extreme as a
+            // mutually paired ring edge — deliberately stronger than the
+            // protocol's per-node ring validity (any correctly sided
+            // value), because only the global pairing is a fixpoint of
+            // ring-edge improvement.
+            (true, false) => self.ring_paired(n, max),
+            (false, true) => self.ring_paired(n, min),
+        }
+    }
+
+    /// True when `n` and the opposite extreme `partner` hold each
+    /// other's ids as ring edges — the converged ring closure.
+    fn ring_paired(&self, n: &Node, partner: NodeId) -> bool {
+        if partner == n.id() || n.ring() != Some(partner) {
+            return false;
+        }
+        self.index
+            .get(partner)
+            .and_then(|s| self.nodes[s].as_ref())
+            .is_some_and(|p| p.ring() == Some(n.id()))
+    }
+
+    /// Scheduler bookkeeping for a join: the newcomer starts unsettled
+    /// and scheduled, and the certificates the join can invalidate
+    /// *without any mail arriving* are re-verified — the sorted
+    /// neighbours and both global extremes, because seam certificates
+    /// reference the min/max identity and the cross-ring pairing (a new
+    /// global extreme must dethrone the settled old one eagerly, or it
+    /// would freeze as falsely settled).
+    fn on_insert_sched(&mut self, id: NodeId, slot: usize) {
+        {
+            let sched = self.sched.as_mut().expect("caller checked");
+            sched.ensure_slot(slot);
+            sched.set_settled(slot, false);
+            sched.schedule(slot);
+        }
+        let rank = self.index.rank_of(id).expect("just inserted");
+        let lane = self.index.sorted_ids();
+        let candidates = [
+            (rank > 0).then(|| lane[rank - 1]),
+            lane.get(rank + 1).copied(),
+            self.index.min_id(),
+            self.index.max_id(),
+        ];
+        for c in candidates.into_iter().flatten() {
+            if c != id {
+                self.recheck_settled(c);
+            }
+        }
+    }
+
+    /// Scheduler bookkeeping for a leave: every node that stores the
+    /// departed id (list pointer, lrl endpoint or ring edge) has a dead
+    /// certificate and must act again to detect the departure (bounce →
+    /// `clear_dangling`). An O(n) scan — churn-rate cost, not per-round
+    /// cost, and the same order the full-scan engine pays every round.
+    fn on_remove_sched(&mut self, id: NodeId, slot: usize) {
+        {
+            let sched = self.sched.as_mut().expect("caller checked");
+            sched.ensure_slot(slot);
+            // The freed slot's flag is reset; a stale agenda entry for it
+            // is filtered at round start (or covers the slot's next
+            // occupant, which must run anyway).
+            sched.set_settled(slot, false);
+        }
+        let mut stale: Vec<usize> = Vec::new();
+        for &s in self.index.sorted_slots() {
+            if let Some(n) = self.nodes[s].as_ref() {
+                if n.stored_ids().any(|x| x == id) {
+                    stale.push(s);
+                }
+            }
+        }
+        let sched = self.sched.as_mut().expect("caller checked");
+        for s in stale {
+            sched.set_settled(s, false);
+            sched.schedule(s);
+        }
     }
 }
 
@@ -1339,6 +1721,91 @@ mod tests {
             .expect("forgets observed");
         assert_eq!(forget_hist.max(), max);
         assert!((forget_hist.mean() - mean).abs() < 1e-9);
+    }
+
+    /// Steps until the agenda is empty (panics after `max` rounds).
+    fn drain(net: &mut Network, max: u64) -> u64 {
+        for k in 0..=max {
+            if net.is_quiescent() {
+                return k;
+            }
+            net.step();
+        }
+        panic!("network failed to drain within {max} rounds");
+    }
+
+    #[test]
+    fn active_set_stable_ring_reaches_quiescence() {
+        let mut net = stable_net(16, 1);
+        net.set_schedule_mode(crate::sched::ScheduleMode::ActiveSet);
+        assert_eq!(net.schedule_mode(), crate::sched::ScheduleMode::ActiveSet);
+        assert_eq!(net.active_count(), 16, "everything starts scheduled");
+        let rounds = drain(&mut net, 50);
+        assert!(rounds > 0, "certificates take at least one round to earn");
+        assert_eq!(net.active_count(), 0);
+        assert!(is_sorted_ring(&net.snapshot()));
+        // Back to full scan: never quiescent, every node active.
+        net.set_schedule_mode(crate::sched::ScheduleMode::FullScan);
+        assert!(!net.is_quiescent());
+        assert_eq!(net.active_count(), 16);
+    }
+
+    #[test]
+    fn active_set_join_of_new_global_max_reintegrates() {
+        // The freeze-risk path: a quiescent ring, then a join that
+        // dethrones the settled global maximum. The insert hook must
+        // unsettle the old extremes eagerly or the seam never moves.
+        let mut net = stable_net(8, 3);
+        net.set_schedule_mode(crate::sched::ScheduleMode::ActiveSet);
+        drain(&mut net, 50);
+        let joiner = NodeId::from_bits(u64::MAX - 7); // beyond every id
+        assert!(net.insert_node(Node::new(joiner, ProtocolConfig::default())));
+        let contact = net.ids()[0];
+        net.send_external(contact, Message::Lin(joiner));
+        assert!(!net.is_quiescent(), "the join must wake the network");
+        let done = net.run_until(3000, is_sorted_ring_view);
+        assert!(done.is_some(), "new maximum failed to integrate");
+        drain(&mut net, 200);
+        let max = *net.ids().last().unwrap();
+        assert_eq!(max, joiner);
+        let min = net.ids()[0];
+        assert_eq!(net.node(min).unwrap().ring(), Some(joiner));
+        assert_eq!(net.node(joiner).unwrap().ring(), Some(min));
+    }
+
+    #[test]
+    fn active_set_leave_of_settled_interior_node_recovers() {
+        let mut net = stable_net(10, 4);
+        net.set_schedule_mode(crate::sched::ScheduleMode::ActiveSet);
+        drain(&mut net, 50);
+        let victim = net.ids()[4];
+        assert!(net.remove_node(victim).is_some());
+        assert!(
+            !net.is_quiescent(),
+            "the victim's reciprocal neighbours must wake"
+        );
+        let done = net.run_until(3000, is_sorted_ring_view);
+        assert!(done.is_some(), "ring failed to close over the gap");
+        drain(&mut net, 200);
+        assert_eq!(net.len(), 9);
+    }
+
+    #[test]
+    fn active_set_leave_of_global_extreme_recovers() {
+        // Removing the maximum breaks both seam certificates (the min's
+        // ring pairing and the new max's PosInf claim).
+        let mut net = stable_net(10, 5);
+        net.set_schedule_mode(crate::sched::ScheduleMode::ActiveSet);
+        drain(&mut net, 50);
+        let max = *net.ids().last().unwrap();
+        assert!(net.remove_node(max).is_some());
+        let done = net.run_until(3000, is_sorted_ring_view);
+        assert!(done.is_some(), "seam failed to re-close");
+        drain(&mut net, 200);
+        let min = net.ids()[0];
+        let new_max = *net.ids().last().unwrap();
+        assert_eq!(net.node(min).unwrap().ring(), Some(new_max));
+        assert_eq!(net.node(new_max).unwrap().ring(), Some(min));
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! The active-set scheduler: O(work) rounds instead of O(n).
+//!
+//! Under [`ScheduleMode::FullScan`] (the default) every live node runs
+//! its receive and regular actions every round — the paper's weakly fair
+//! schedule, and the byte-for-byte deterministic baseline all golden
+//! traces pin. Under [`ScheduleMode::ActiveSet`] a round activates only
+//! the nodes on the **agenda**: nodes with freshly enqueued mail, nodes
+//! whose local state is not yet a verified fixpoint, and nodes touched
+//! by churn or a fault. Once the network stabilizes the agenda drains to
+//! empty and a round costs O(1) — *quiescence* — instead of an O(n)
+//! scan that shuffles, probes and re-sends over a ring that can no
+//! longer change.
+//!
+//! # The settlement certificate
+//!
+//! A node is **settled** when the engine has verified a local
+//! certificate that its regular action cannot change any node's link
+//! state (`network.rs::node_settled`):
+//!
+//! * each finite list pointer is properly sided *and reciprocated* by a
+//!   live neighbour (`a < id`, `a.r == id`; symmetric on the right), so
+//!   the `lin` re-advertisements it would send are fixpoint no-ops;
+//! * a `-∞`/`+∞` side is held only by the **global** extreme, and the
+//!   two extremes hold each other's ids as mutually paired ring edges —
+//!   deliberately stronger than the protocol's own per-node ring
+//!   validity (any correctly sided value), because only the global
+//!   pairing is a fixpoint of ring-edge improvement: the stronger check
+//!   keeps interleaved reciprocal chains (locally consistent, globally
+//!   wrong) from freezing short of the sorted ring;
+//! * an interior node carries no leftover ring edge (sanitation would
+//!   erase it — a state change);
+//! * its lrl token endpoint is itself or a live node.
+//!
+//! Settled nodes still run **receive** actions — mail always wakes a
+//! node — but skip the regular action. That is the one scheduling
+//! deviation from the paper: the perpetual lrl token walk (every
+//! regular action sends `inc_lrl`, even to itself) pauses on settled
+//! nodes, and their ages, probe ticks and probe cycles freeze with it.
+//! Without the pause a converged ring would never go quiet; with it the
+//! quiescence invariant holds: **an inactive node has no enabled action
+//! that could change the global link state** (DESIGN.md §12).
+//!
+//! # Staleness
+//!
+//! A certificate mentions other nodes' state, so every mutation path
+//! re-verifies the certificates it can invalidate: a node's own turn
+//! diffs its `(l, r, ring)` tuple and rechecks old and new targets
+//! (reciprocity is mutual, so the far end of every broken edge is in
+//! one of the two tuples); joins recheck the sorted neighbours and both
+//! extremes; leaves unsettle every node that stores the departed id;
+//! crashes recheck the victim's pre-crash targets; perturbations the
+//! rewritten ones. The oracle proptest (`tests/active_set_prop.rs`)
+//! pins the whole construction against the full-scan engine, and the
+//! quiescence proptest (`tests/quiescence_prop.rs`) pins the no-op
+//! guarantee.
+
+/// How the round loop picks the nodes that act (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScheduleMode {
+    /// Every live node acts every round — the paper's schedule and the
+    /// bit-for-bit deterministic baseline.
+    #[default]
+    FullScan,
+    /// Only agenda nodes act; stable rounds cost O(work), and a fully
+    /// settled network reports quiescence.
+    ActiveSet,
+}
+
+/// The scheduler's working state: one flag pair per slot plus the
+/// agenda of slots that act next round. Slot-indexed (not id-indexed)
+/// so the hot-path lookups are plain vector loads.
+#[derive(Debug, Default)]
+pub(crate) struct SchedState {
+    /// `scheduled[slot]`: the slot is already on the agenda (dedup).
+    scheduled: Vec<bool>,
+    /// `settled[slot]`: the settlement certificate was verified and no
+    /// mutation path has invalidated it since.
+    settled: Vec<bool>,
+    /// The slots that act next round, in scheduling order (canonicalized
+    /// by the round loop before use).
+    agenda: Vec<usize>,
+}
+
+impl SchedState {
+    /// A scheduler over `slots` slots, everything unscheduled and
+    /// unsettled.
+    pub(crate) fn new(slots: usize) -> Self {
+        SchedState {
+            scheduled: vec![false; slots],
+            settled: vec![false; slots],
+            agenda: Vec::new(),
+        }
+    }
+
+    /// Grows the flag vectors to cover `slot` (new arena slots from
+    /// churn joins).
+    pub(crate) fn ensure_slot(&mut self, slot: usize) {
+        if slot >= self.scheduled.len() {
+            self.scheduled.resize(slot + 1, false);
+            self.settled.resize(slot + 1, false);
+        }
+    }
+
+    /// Puts `slot` on the next round's agenda (idempotent).
+    pub(crate) fn schedule(&mut self, slot: usize) {
+        self.ensure_slot(slot);
+        if !self.scheduled[slot] {
+            self.scheduled[slot] = true;
+            self.agenda.push(slot);
+        }
+    }
+
+    /// Moves the agenda into `out` (appending) and clears the flags, so
+    /// scheduling during the round targets the *next* round.
+    pub(crate) fn begin_round(&mut self, out: &mut Vec<usize>) {
+        for &slot in &self.agenda {
+            self.scheduled[slot] = false;
+        }
+        out.append(&mut self.agenda);
+    }
+
+    /// True when `slot`'s settlement certificate is current.
+    pub(crate) fn is_settled(&self, slot: usize) -> bool {
+        self.settled.get(slot).copied().unwrap_or(false)
+    }
+
+    /// Records the outcome of a certificate verification.
+    pub(crate) fn set_settled(&mut self, slot: usize, settled: bool) {
+        self.ensure_slot(slot);
+        self.settled[slot] = settled;
+    }
+
+    /// Number of slots on the agenda — an upper bound on next round's
+    /// active nodes (entries whose slot died since scheduling are
+    /// filtered at round start).
+    pub(crate) fn active_len(&self) -> usize {
+        self.agenda.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_idempotent_per_round() {
+        let mut s = SchedState::new(4);
+        s.schedule(2);
+        s.schedule(2);
+        s.schedule(0);
+        assert_eq!(s.active_len(), 2);
+        let mut out = Vec::new();
+        s.begin_round(&mut out);
+        assert_eq!(out, vec![2, 0]);
+        assert_eq!(s.active_len(), 0);
+        // Flags cleared: the same slot can be scheduled for the next
+        // round while the current one runs.
+        s.schedule(2);
+        assert_eq!(s.active_len(), 1);
+    }
+
+    #[test]
+    fn ensure_slot_grows_on_demand() {
+        let mut s = SchedState::new(1);
+        assert!(!s.is_settled(9));
+        s.set_settled(9, true);
+        assert!(s.is_settled(9));
+        s.schedule(12);
+        assert_eq!(s.active_len(), 1);
+        assert!(!s.is_settled(12));
+    }
+
+    #[test]
+    fn begin_round_appends_without_clobbering() {
+        let mut s = SchedState::new(4);
+        s.schedule(3);
+        let mut out = vec![7usize];
+        s.begin_round(&mut out);
+        assert_eq!(out, vec![7, 3]);
+    }
+
+    #[test]
+    fn default_mode_is_full_scan() {
+        assert_eq!(ScheduleMode::default(), ScheduleMode::FullScan);
+    }
+}

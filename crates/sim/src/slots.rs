@@ -1,4 +1,5 @@
-//! Dense id→slot index: O(1) message routing for the step engine.
+//! Dense id→slot index: O(1) message routing plus an incrementally
+//! maintained sorted order for the step engine.
 //!
 //! The simulator stores nodes and channels in slot vectors; every send
 //! must map a destination [`NodeId`] to its slot. A `BTreeMap` lookup
@@ -9,19 +10,30 @@
 //! * an open-addressing hash table (fibonacci hashing, linear probing,
 //!   backward-shift deletion) answering [`SlotIndex::get`] in O(1) with
 //!   no per-entry allocation — the routing path;
-//! * a `BTreeMap` for *ordered* traversal — `ids()`, snapshots, views
-//!   and the round-order materialization, which must stay deterministic
-//!   and sorted by id.
+//! * two parallel sorted lanes (`sorted_ids`, `sorted_slots`) holding the
+//!   entries in ascending id order — `ids()`, snapshots, views and the
+//!   round-order materialization read these flat slices directly. The
+//!   lanes are maintained *incrementally*: insert and remove locate the
+//!   rank by binary search and splice in place, so the ordered view is
+//!   always current and the round loop's order build is a memcpy of
+//!   [`SlotIndex::sorted_slots`] instead of a tree walk (let alone a
+//!   rebuild).
 //!
 //! The hash table is **never iterated**, so its (hash-dependent, hence
 //! insertion-order-dependent) internal layout can never leak into the
-//! simulation: determinism rests on the BTreeMap alone. Slot churn is
-//! the dangerous case — `remove_node` pushes a slot onto a free list and
-//! a later insert reuses it for a *different* id — and is covered by a
-//! proptest pitting this index against a `BTreeMap` oracle over random
+//! simulation: determinism rests on the sorted lanes, whose content is a
+//! pure function of the live id set. Splicing a `Vec` is O(n) per
+//! mutation in the worst case, but churn is rare relative to routing and
+//! the memmove is a flat `u64`/`usize` shift — measured faster than
+//! BTreeMap maintenance well past n = 10⁶ (`BENCH_scale.json`). Bulk
+//! construction ([`SlotIndex::from_pairs`]) sorts once instead of
+//! splicing n times, keeping million-node network builds O(n log n) and,
+//! for pre-sorted input, effectively linear. Slot churn is the dangerous
+//! case — `remove_node` pushes a slot onto a free list and a later
+//! insert reuses it for a *different* id — and is covered by a proptest
+//! pitting this index against a `BTreeMap` oracle over random
 //! insert/remove/lookup sequences (`tests/slot_index_prop.rs`).
 
-use std::collections::BTreeMap;
 use swn_core::id::NodeId;
 
 /// Initial hash-table capacity (power of two).
@@ -30,8 +42,11 @@ const INITIAL_CAPACITY: usize = 16;
 /// An id→slot map with O(1) lookup and ordered iteration.
 #[derive(Clone, Debug)]
 pub struct SlotIndex {
-    /// Ordered spelling: authoritative for iteration and length.
-    ordered: BTreeMap<NodeId, usize>,
+    /// Ids in ascending order — authoritative for iteration and length.
+    sorted_ids: Vec<NodeId>,
+    /// Slot of `sorted_ids[rank]`, same order: the round loop's
+    /// activation order is a copy of this lane.
+    sorted_slots: Vec<usize>,
     /// Open-addressing table, power-of-two length, load factor ≤ 1/2.
     table: Vec<Option<(NodeId, usize)>>,
 }
@@ -46,9 +61,36 @@ impl SlotIndex {
     /// An empty index.
     pub fn new() -> Self {
         SlotIndex {
-            ordered: BTreeMap::new(),
+            sorted_ids: Vec::new(),
+            sorted_slots: Vec::new(),
             table: vec![None; INITIAL_CAPACITY],
         }
+    }
+
+    /// Bulk construction from arbitrary-order pairs: sorts once and
+    /// builds the hash table at final size, instead of splicing the
+    /// sorted lanes entry by entry. Returns the first duplicate id as
+    /// `Err`. Already-ascending input (the common generator output)
+    /// costs one verification pass plus table fills.
+    pub fn from_pairs(mut pairs: Vec<(NodeId, usize)>) -> Result<Self, NodeId> {
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        if let Some(w) = pairs.windows(2).find(|w| w[0].0 == w[1].0) {
+            return Err(w[0].0);
+        }
+        let mut cap = INITIAL_CAPACITY;
+        while (pairs.len() + 1) * 2 > cap {
+            cap *= 2;
+        }
+        let mut table = vec![None; cap];
+        for &(id, slot) in &pairs {
+            Self::raw_insert(&mut table, id, slot);
+        }
+        let (sorted_ids, sorted_slots) = pairs.into_iter().unzip();
+        Ok(SlotIndex {
+            sorted_ids,
+            sorted_slots,
+            table,
+        })
     }
 
     /// Fibonacci hashing: the high bits of `bits · φ⁻¹·2⁶⁴` mapped onto
@@ -66,12 +108,12 @@ impl SlotIndex {
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.ordered.len()
+        self.sorted_ids.len()
     }
 
     /// True when the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.ordered.is_empty()
+        self.sorted_ids.is_empty()
     }
 
     /// O(1) slot lookup — the message-routing hot path.
@@ -95,13 +137,16 @@ impl SlotIndex {
     }
 
     /// Inserts `id → slot`. Returns false (and changes nothing) when the
-    /// id is already present.
+    /// id is already present. The sorted lanes are spliced at the
+    /// binary-searched rank, so ascending insertion is an amortized O(1)
+    /// append.
     pub fn insert(&mut self, id: NodeId, slot: usize) -> bool {
-        if self.contains(id) {
+        let Err(rank) = self.sorted_ids.binary_search(&id) else {
             return false;
-        }
-        self.ordered.insert(id, slot);
-        if (self.ordered.len() + 1) * 2 > self.table.len() {
+        };
+        self.sorted_ids.insert(rank, id);
+        self.sorted_slots.insert(rank, slot);
+        if (self.sorted_ids.len() + 1) * 2 > self.table.len() {
             self.grow();
         }
         Self::raw_insert(&mut self.table, id, slot);
@@ -110,10 +155,12 @@ impl SlotIndex {
 
     /// Removes `id`, returning its slot.
     pub fn remove(&mut self, id: NodeId) -> Option<usize> {
-        let slot = self.ordered.remove(&id)?;
+        let rank = self.sorted_ids.binary_search(&id).ok()?;
+        self.sorted_ids.remove(rank);
+        let slot = self.sorted_slots.remove(rank);
         let mask = self.table.len() - 1;
         let mut i = Self::home(id.bits(), self.table.len());
-        // The entry exists (the ordered map had it), so this terminates.
+        // The entry exists (the sorted lane had it), so this terminates.
         while self.table[i].is_none_or(|(k, _)| k != id) {
             i = (i + 1) & mask;
         }
@@ -136,13 +183,39 @@ impl SlotIndex {
 
     /// The ids in ascending order.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.ordered.keys().copied()
+        self.sorted_ids.iter().copied()
     }
 
     /// The slots in ascending *id* order — the deterministic traversal
     /// the round loop, snapshots and views are built from.
     pub fn slots_by_id(&self) -> impl Iterator<Item = usize> + '_ {
-        self.ordered.values().copied()
+        self.sorted_slots.iter().copied()
+    }
+
+    /// The ids in ascending order, as a flat slice.
+    pub fn sorted_ids(&self) -> &[NodeId] {
+        &self.sorted_ids
+    }
+
+    /// The slots in ascending id order, as a flat slice — the round
+    /// loop's activation order is `memcpy`'d from here.
+    pub fn sorted_slots(&self) -> &[usize] {
+        &self.sorted_slots
+    }
+
+    /// The rank of `id` in the ascending order, when present.
+    pub fn rank_of(&self, id: NodeId) -> Option<usize> {
+        self.sorted_ids.binary_search(&id).ok()
+    }
+
+    /// The smallest live id — O(1) off the sorted lane.
+    pub fn min_id(&self) -> Option<NodeId> {
+        self.sorted_ids.first().copied()
+    }
+
+    /// The largest live id — O(1) off the sorted lane.
+    pub fn max_id(&self) -> Option<NodeId> {
+        self.sorted_ids.last().copied()
     }
 
     fn grow(&mut self) {
@@ -199,6 +272,11 @@ mod tests {
         // Slots follow the id order, not insertion order.
         let slots: Vec<usize> = idx.slots_by_id().collect();
         assert_eq!(slots, vec![1, 3, 0, 2]);
+        assert_eq!(idx.sorted_slots(), &[1, 3, 0, 2]);
+        assert_eq!(idx.min_id(), Some(id(7)));
+        assert_eq!(idx.max_id(), Some(id(99)));
+        assert_eq!(idx.rank_of(id(40)), Some(2));
+        assert_eq!(idx.rank_of(id(41)), None);
     }
 
     #[test]
@@ -246,5 +324,46 @@ mod tests {
         assert_eq!(idx.get(id(1)), None);
         assert_eq!(idx.get(id(3)), Some(0));
         assert_eq!(idx.get(id(2)), Some(1));
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental_build() {
+        let pairs: Vec<(NodeId, usize)> = [40u64, 7, 99, 23]
+            .into_iter()
+            .enumerate()
+            .map(|(slot, bits)| (id(bits), slot))
+            .collect();
+        let bulk = SlotIndex::from_pairs(pairs.clone()).expect("no duplicates");
+        let mut inc = SlotIndex::new();
+        for &(nid, slot) in &pairs {
+            assert!(inc.insert(nid, slot));
+        }
+        assert_eq!(bulk.sorted_ids(), inc.sorted_ids());
+        assert_eq!(bulk.sorted_slots(), inc.sorted_slots());
+        for &(nid, slot) in &pairs {
+            assert_eq!(bulk.get(nid), Some(slot));
+        }
+        assert_eq!(bulk.get(id(8)), None);
+    }
+
+    #[test]
+    fn bulk_build_reports_duplicates() {
+        let pairs = vec![(id(3), 0), (id(9), 1), (id(3), 2)];
+        assert_eq!(SlotIndex::from_pairs(pairs).map(|_| ()), Err(id(3)));
+    }
+
+    #[test]
+    fn bulk_build_sizes_table_for_load_factor() {
+        // 1000 entries must land in a table big enough that inserting a
+        // few more keeps the load factor ≤ 1/2 without an early grow.
+        let pairs: Vec<(NodeId, usize)> = (0..1000usize)
+            .map(|k| (id(k as u64 * 0x1_0001), k))
+            .collect();
+        let mut idx = SlotIndex::from_pairs(pairs).expect("no duplicates");
+        for k in 0..1000usize {
+            assert_eq!(idx.get(id(k as u64 * 0x1_0001)), Some(k));
+        }
+        assert!(idx.insert(id(7), 1000));
+        assert_eq!(idx.get(id(7)), Some(1000));
     }
 }

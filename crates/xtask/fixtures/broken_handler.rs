@@ -29,3 +29,8 @@ pub fn measure(events: &std::collections::HashMap<u64, u64>) -> std::time::Durat
     for (_k, _v) in events {}
     t0.elapsed()
 }
+
+pub fn route(table: &std::collections::BTreeMap<u64, usize>, id: u64) -> Option<usize> {
+    // Violation: ordered-map lookup on the simulator's hot path.
+    table.get(&id).copied()
+}

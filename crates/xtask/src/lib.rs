@@ -23,6 +23,13 @@
 //! * [`Rule::MissingForbidUnsafe`] — every crate root (`src/lib.rs`)
 //!   must carry `#![forbid(unsafe_code)]` so the workspace-level deny
 //!   cannot be overridden locally.
+//! * [`Rule::BtreeHotPath`] — the per-round hot-path modules of
+//!   `swn-sim` (`slots`, `network`, `channel`, `sched`) must not use
+//!   `BTreeMap` outside `#[cfg(test)]` items: the round engine replaced
+//!   ordered-map traversal with flat slot arenas and an incrementally
+//!   maintained sorted order (DESIGN.md §12), and a stray `BTreeMap`
+//!   silently reintroduces O(log n) pointer chasing per message. Tests
+//!   may keep `BTreeMap` oracles; non-test exceptions need a waiver.
 //! * [`Rule::Nondeterminism`] — non-test code in the deterministic
 //!   crates (`swn-core`, `swn-sim`, `swn-analyzer`) must not reach for
 //!   randomized-iteration hash collections (`HashMap`/`HashSet`), wall
@@ -60,6 +67,8 @@ pub enum Rule {
     MissingForbidUnsafe,
     /// Nondeterministic construct in a deterministic crate.
     Nondeterminism,
+    /// `BTreeMap` in a simulator hot-path module.
+    BtreeHotPath,
 }
 
 impl Rule {
@@ -71,6 +80,7 @@ impl Rule {
             Rule::HardcodedKindCount => "hardcoded-kind-count",
             Rule::MissingForbidUnsafe => "missing-forbid-unsafe",
             Rule::Nondeterminism => "determinism",
+            Rule::BtreeHotPath => "btree-hot-path",
         }
     }
 }
@@ -373,6 +383,7 @@ struct FileClass {
     handler_unwrap: bool,
     crate_root: bool,
     determinism: bool,
+    btree_hot_path: bool,
 }
 
 /// Handler modules of `swn-core` where a peer-triggered panic is a
@@ -394,6 +405,11 @@ const DETERMINISTIC_CRATES: [&str; 3] = [
     "crates/analyzer/src/",
 ];
 
+/// Per-round hot-path modules of the simulator: every message and every
+/// turn crosses these, so ordered-map traversal is banned outside tests
+/// (the arenas + sorted lanes of DESIGN.md §12 replaced it).
+const HOT_PATH_FILES: [&str; 4] = ["slots.rs", "network.rs", "channel.rs", "sched.rs"];
+
 fn classify(path: &str) -> FileClass {
     let p = path.replace('\\', "/");
     let in_core = p.contains("crates/core/src/");
@@ -404,6 +420,8 @@ fn classify(path: &str) -> FileClass {
         handler_unwrap: (in_core && HANDLER_FILES.contains(&file)) || is_fixture,
         crate_root: file == "lib.rs" && (p.ends_with("src/lib.rs") || is_fixture),
         determinism: DETERMINISTIC_CRATES.iter().any(|c| p.contains(c)) || is_fixture,
+        btree_hot_path: (p.contains("crates/sim/src/") && HOT_PATH_FILES.contains(&file))
+            || is_fixture,
     }
 }
 
@@ -450,7 +468,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
         }
     }
 
-    let tests = if class.handler_unwrap || class.determinism {
+    let tests = if class.handler_unwrap || class.determinism || class.btree_hot_path {
         test_region_lines(src, &blanked)
     } else {
         Vec::new()
@@ -510,6 +528,27 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
                         ),
                     );
                 }
+            }
+        }
+    }
+
+    if class.btree_hot_path {
+        for (i, line) in blanked.lines().enumerate() {
+            let n = i + 1;
+            if in_tests(n) {
+                continue;
+            }
+            if line.contains("BTreeMap") {
+                push(
+                    Rule::BtreeHotPath,
+                    n,
+                    "`BTreeMap` in a simulator hot-path module; the round engine \
+                     routes through flat slot arenas and the incrementally \
+                     maintained sorted order (DESIGN.md §12) — use `SlotIndex`, \
+                     or waive with a justification that the map is off the \
+                     per-round path"
+                        .to_string(),
+                );
             }
         }
     }
@@ -716,6 +755,45 @@ mod tests {
         assert!(rules.contains(&Rule::HandlerUnwrap), "{v:?}");
         assert!(rules.contains(&Rule::HardcodedKindCount), "{v:?}");
         assert!(rules.contains(&Rule::Nondeterminism), "{v:?}");
+        assert!(rules.contains(&Rule::BtreeHotPath), "{v:?}");
+    }
+
+    #[test]
+    fn btree_flagged_in_hot_path_modules_only() {
+        let src = "use std::collections::BTreeMap;\n";
+        for file in ["slots.rs", "network.rs", "channel.rs", "sched.rs"] {
+            let v = lint_source(&format!("crates/sim/src/{file}"), src);
+            assert!(
+                v.iter().any(|x| x.rule == Rule::BtreeHotPath),
+                "{file}: {v:?}"
+            );
+        }
+        // Off the per-round path: fault plans, other crates, the sim's
+        // own integration tests (which keep BTreeMap oracles).
+        assert!(lint_source("crates/sim/src/faults.rs", src)
+            .iter()
+            .all(|x| x.rule != Rule::BtreeHotPath));
+        assert!(lint_source("crates/core/src/node.rs", src)
+            .iter()
+            .all(|x| x.rule != Rule::BtreeHotPath));
+        assert!(lint_source("crates/sim/tests/slot_index_prop.rs", src)
+            .iter()
+            .all(|x| x.rule != Rule::BtreeHotPath));
+    }
+
+    #[test]
+    fn btree_spares_tests_doc_comments_and_waivers() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    use std::collections::BTreeMap;\n}\n";
+        assert!(lint_source("crates/sim/src/slots.rs", in_test)
+            .iter()
+            .all(|x| x.rule != Rule::BtreeHotPath));
+        let in_doc = "//! Replaces the `BTreeMap` the index once was.\npub struct SlotIndex;\n";
+        assert!(lint_source("crates/sim/src/slots.rs", in_doc).is_empty());
+        let waived = "// lint: allow(btree-hot-path) — cold config table, never per-message.\n\
+                      use std::collections::BTreeMap;\n";
+        assert!(lint_source("crates/sim/src/network.rs", waived)
+            .iter()
+            .all(|x| x.rule != Rule::BtreeHotPath));
     }
 
     #[test]
