@@ -4,6 +4,7 @@
 //! experiments <id>... [--quick] [--trace-out FILE]
 //! experiments all [--quick]
 //! experiments report FILE
+//! experiments postmortem FILE
 //! experiments list
 //! ```
 //!
@@ -15,6 +16,11 @@
 //! scenario with a JSONL observation sink attached (see DESIGN.md §9);
 //! `report FILE` renders such a trace as a human-readable run report.
 //! With several ids, each id's trace goes to `FILE.<id>` instead.
+//!
+//! `postmortem FILE` runs the sole-carrier disconnection demo (E10b)
+//! with an anomaly-armed flight recorder: the permanently-disconnected
+//! verdict auto-dumps the recent-event ring to `FILE` as JSONL, naming
+//! the culprit drop. The dump is itself a valid trace for `report`.
 
 use std::time::Instant;
 use swn_harness::table::Table;
@@ -214,9 +220,26 @@ fn main() {
         return;
     }
 
+    if let Some(("postmortem", files)) = ids.split_first().map(|(f, r)| (*f, r)) {
+        let [file] = files else {
+            eprintln!("usage: experiments postmortem FILE");
+            std::process::exit(2);
+        };
+        let rep = swn_harness::e10_faults::write_post_mortem(file);
+        eprintln!(
+            "verdict: {} — flight-recorder dump written to {file}",
+            rep.verdict.outcome()
+        );
+        if rep.verdict.outcome() != "disconnected" {
+            eprintln!("expected a permanently-disconnected verdict, got {rep:?}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     if ids.is_empty() || ids == ["list"] {
         println!(
-            "usage: experiments <id>... [--quick] [--trace-out FILE] | all [--quick] | report FILE | list\n"
+            "usage: experiments <id>... [--quick] [--trace-out FILE] | all [--quick] | report FILE | postmortem FILE | list\n"
         );
         for id in ALL_IDS {
             println!("  {id}  {}", describe(id));

@@ -31,7 +31,8 @@ use swn_core::id::{Extended, NodeId};
 use swn_core::message::Message;
 use swn_core::node::Node;
 use swn_sim::faults::{watch_recovery, FaultPlan, Verdict, WatchReport};
-use swn_sim::obs::Histogram;
+use swn_sim::obs::flight::FlightRecorder;
+use swn_sim::obs::{Histogram, NoopSink, Sink};
 use swn_sim::parallel::run_trials;
 use swn_sim::Network;
 
@@ -113,6 +114,13 @@ pub struct FaultPoint {
     pub mean_overhead: f64,
     /// Mean messages destroyed by the injector per trial.
     pub mean_dropped: f64,
+    /// Per-trial repair-cascade depth maxima (hops from a root delivery
+    /// in the causal DAG) — one sample per trial. Relates cascade shape
+    /// to MTTR: deeper cascades mean longer serial repair chains.
+    pub cascade_depth: Histogram,
+    /// Mean peak cascade width (deliveries sharing one depth level) —
+    /// the parallelism of the repair.
+    pub mean_cascade_width: f64,
 }
 
 /// One trial: warm fixture, measure the steady rate, inject `plan`, watch.
@@ -124,6 +132,10 @@ fn run_trial(
 ) -> (WatchReport, f64) {
     let cfg = ProtocolConfig::with_epsilon(p.epsilon);
     let mut net = harmonic_network(p.n, cfg, seed);
+    // A sink makes the causal tracer live, so `watch_recovery` can
+    // bracket a cascade window and fill `WatchReport::cascade`.
+    // Observers consume no RNG, so trial outcomes are unchanged.
+    net.attach_sink(Box::new(NoopSink), u64::MAX);
     // Steady-state message rate from a pre-fault window: the overhead
     // denominator. The regular action keeps chattering during recovery,
     // so raw message counts overstate the fault's cost.
@@ -146,11 +158,17 @@ fn aggregate(label: String, trials: Vec<(WatchReport, f64)>) -> FaultPoint {
     let mut min_mttr = u64::MAX;
     let mut recovered = 0;
     let mut overheads = Vec::new();
+    let mut cascade_depth = Histogram::new();
+    let mut widths = Vec::new();
     for (rep, _) in &trials {
         if let Some(rounds) = rep.verdict.recovered_rounds() {
             recovered += 1;
             mttr.record(rounds);
             min_mttr = min_mttr.min(rounds);
+        }
+        if let Some(c) = &rep.cascade {
+            cascade_depth.record(c.depth_max());
+            widths.push(c.stats.width_max() as f64);
         }
     }
     for (rep, rate) in &trials {
@@ -180,6 +198,8 @@ fn aggregate(label: String, trials: Vec<(WatchReport, f64)>) -> FaultPoint {
                 .map(|(r, _)| r.dropped_fault as f64)
                 .collect::<Vec<_>>(),
         ),
+        cascade_depth,
+        mean_cascade_width: mean(&widths),
     }
 }
 
@@ -275,6 +295,9 @@ fn point_row(pt: &FaultPoint) -> Vec<String> {
         f2(pt.mean_messages),
         f2(pt.mean_overhead),
         f2(pt.mean_dropped),
+        pt.cascade_depth.approx_quantile(0.5).to_string(),
+        pt.cascade_depth.max().to_string(),
+        f2(pt.mean_cascade_width),
     ]
 }
 
@@ -283,7 +306,8 @@ pub fn run(p: &Params) -> Table {
     let mut t = Table::new(
         format!("E10  Self-stabilization under sustained faults (n={})", p.n),
         "transient damage heals even under sustained loss; MTTR grows with the drop rate \
-         (knowledge-closure watchdog, Thm 4.3 between faults)",
+         (knowledge-closure watchdog, Thm 4.3 between faults); casc = causal repair-cascade \
+         depth (serial chain) and width (peak parallelism)",
         &[
             "scenario",
             "recovered",
@@ -293,6 +317,9 @@ pub fn run(p: &Params) -> Table {
             "msgs mean",
             "x steady",
             "dropped",
+            "casc p50",
+            "casc max",
+            "width mean",
         ],
     );
     for pt in measure_drop_matrix(p) {
@@ -311,6 +338,13 @@ pub fn run(p: &Params) -> Table {
 /// verdict must be `PermanentlyDisconnected` with the `a -> b` drop as
 /// culprit.
 pub fn measure_disconnect_demo() -> WatchReport {
+    disconnect_demo_with(None)
+}
+
+/// The demo body, optionally instrumented with an observation sink (the
+/// flight-recorder path): the wiring is identical either way because
+/// observers consume no RNG.
+fn disconnect_demo_with(sink: Option<Box<dyn Sink>>) -> WatchReport {
     let cfg = ProtocolConfig::default();
     let (a, b, c) = (
         NodeId::from_fraction(0.2),
@@ -321,11 +355,27 @@ pub fn measure_disconnect_demo() -> WatchReport {
     let nb = Node::with_state(b, Extended::Fin(a), Extended::PosInf, b, None, cfg);
     let nc = Node::new(c, cfg);
     let mut net = Network::new(vec![na, nb, nc], 3);
+    if let Some(sink) = sink {
+        net.attach_sink(sink, 1);
+    }
     net.preload(a, Message::Lin(c));
     net.attach_faults(FaultPlan::new(7).with_drop(1, 2, 1.0));
     let rep = watch_recovery(&mut net, 50);
     net.detach_faults();
+    net.detach_sink();
     rep
+}
+
+/// Runs the sole-carrier demo with an anomaly-armed flight recorder
+/// dumping to `path`, and returns the watchdog's report. The
+/// `PermanentlyDisconnected` verdict trips the recorder's auto-dump, so
+/// after this returns `path` holds a JSONL post-mortem — the recent
+/// event ring ending in the fault, span, cascade and verdict records,
+/// with the culprit drop named in the verdict detail ("sole carrier").
+/// This is the CI fault-matrix artifact.
+pub fn write_post_mortem(path: impl Into<std::path::PathBuf>) -> WatchReport {
+    let (recorder, _buffer) = FlightRecorder::new(512);
+    disconnect_demo_with(Some(Box::new(recorder.with_dump_path(path))))
 }
 
 /// Renders the sole-carrier demo as its own small table.
@@ -387,6 +437,26 @@ mod tests {
                 pt.label,
                 p.down_for,
                 pt.mttr.max()
+            );
+            // The sink in run_trial makes the causal tracer live, so
+            // every trial contributes a cascade-shape sample.
+            assert_eq!(
+                pt.cascade_depth.count(),
+                pt.trials as u64,
+                "{}: one cascade depth sample per trial",
+                pt.label
+            );
+            // Re-integrating blank survivors is a multi-hop exchange:
+            // the repair DAG cannot be all roots.
+            assert!(
+                pt.cascade_depth.max() >= 1,
+                "{}: repair involved caused messages",
+                pt.label
+            );
+            assert!(
+                pt.mean_cascade_width >= 1.0,
+                "{}: cascade width is at least one delivery",
+                pt.label
             );
         }
         let first = pts.first().expect("at least one rate");
@@ -460,9 +530,31 @@ mod tests {
         let mut p = tiny();
         p.trials = 2;
         p.drop_rates = vec![0.0, 0.1];
-        assert!(run(&p).render().contains("E10"));
+        let table = run(&p).render();
+        assert!(table.contains("E10"));
+        assert!(table.contains("casc p50"), "{table}");
         let demo = run_disconnect_demo().render();
         assert!(demo.contains("disconnected"), "{demo}");
         assert!(demo.contains("root cause"), "{demo}");
+    }
+
+    #[test]
+    fn post_mortem_dump_names_the_culprit() {
+        let dir = std::env::temp_dir().join("swn_e10_postmortem_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("postmortem.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let rep = write_post_mortem(&path);
+        assert_eq!(rep.verdict.outcome(), "disconnected");
+        let dump = std::fs::read_to_string(&path).expect("anomaly auto-dumped the ring");
+        assert!(dump.contains("sole carrier"), "culprit named: {dump}");
+        // The dump is the full recent-event ring, ending in the verdict:
+        // span and cascade records are already inside it.
+        assert!(dump.contains("\"Cascade\""), "cascade record present");
+        assert!(dump.contains("\"Verdict\""), "verdict record present");
+        for line in dump.lines() {
+            swn_sim::obs::parse_record(line).expect("every dumped line parses");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

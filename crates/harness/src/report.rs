@@ -28,6 +28,7 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
     render_timeline(&mut out, &events);
     render_phases(&mut out, &events);
     render_mix(&mut out, &events);
+    render_cascades(&mut out, &events);
     render_summary(&mut out, &events);
     Ok(out)
 }
@@ -192,6 +193,66 @@ fn render_mix(out: &mut String, events: &[Event]) {
     }
 }
 
+/// Repair-cascade sections: one per [`Event::Cascade`], with the DAG
+/// shape (roots/edges/depth/width) and the per-message-kind fan-out —
+/// how many follow-up sends each handled kind caused on average.
+#[allow(clippy::cast_precision_loss)]
+fn render_cascades(out: &mut String, events: &[Event]) {
+    for e in events {
+        if let Event::Cascade {
+            label,
+            start,
+            end,
+            delivered,
+            roots,
+            edges,
+            depth,
+            width_max,
+            handled_by_kind,
+            children_by_kind,
+        } = e
+        {
+            let _ = writeln!(
+                out,
+                "\nrepair cascade \"{label}\": rounds {start} -> {end} ({} rounds)",
+                end.saturating_sub(*start)
+            );
+            let _ = writeln!(
+                out,
+                "  {delivered} deliveries = {roots} roots + {edges} caused, depth max {}, width max {width_max}",
+                depth.max()
+            );
+            render_hist(out, "cascade depth (hops from root)", depth);
+            let _ = writeln!(
+                out,
+                "  per-kind fan-out (children caused per handled message)"
+            );
+            let _ = writeln!(
+                out,
+                "    {:<8} {:>10} {:>10} {:>8}",
+                "kind", "handled", "children", "fan-out"
+            );
+            for kind in MessageKind::ALL {
+                let handled = handled_by_kind.get(kind.index()).copied().unwrap_or(0);
+                let children = children_by_kind.get(kind.index()).copied().unwrap_or(0);
+                if handled == 0 && children == 0 {
+                    continue;
+                }
+                let fanout = if handled > 0 {
+                    children as f64 / handled as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "    {:<8} {handled:>10} {children:>10} {fanout:>8.2}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
 fn render_summary(out: &mut String, events: &[Event]) {
     for e in events {
         if let Event::Summary {
@@ -201,14 +262,52 @@ fn render_summary(out: &mut String, events: &[Event]) {
             depth,
             forget_age,
             lrl_len,
+            latency_by_kind,
+            cascade_depth,
         } = e
         {
             let _ = writeln!(out, "\ntotals: {rounds} rounds, {total_sent} messages sent");
             render_hist(out, "latency (rounds, enqueue->deliver)", latency);
+            render_latency_by_kind(out, latency_by_kind);
             render_hist(out, "channel depth high-water (msgs)", depth);
+            render_hist(out, "cascade depth (all windows)", cascade_depth);
             render_hist(out, "lrl age at forget (rounds)", forget_age);
             render_hist(out, "lrl length (rank distance)", lrl_len);
         }
+    }
+}
+
+/// Per-message-kind latency percentile table. Kinds that never saw a
+/// delivery are skipped, so Immediate-policy runs (all-zero latency)
+/// still show which kinds actually flowed.
+fn render_latency_by_kind(out: &mut String, hists: &[Histogram]) {
+    if hists.iter().all(Histogram::is_empty) {
+        return;
+    }
+    let _ = writeln!(out, "  latency percentiles by message kind (rounds)");
+    let _ = writeln!(
+        out,
+        "    {:<8} {:>10} {:>8} {:>6} {:>6} {:>6} {:>6}",
+        "kind", "n", "mean", "p50", "p90", "p99", "max"
+    );
+    for kind in MessageKind::ALL {
+        let Some(h) = hists.get(kind.index()) else {
+            continue;
+        };
+        if h.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "    {:<8} {:>10} {:>8.2} {:>6} {:>6} {:>6} {:>6}",
+            kind.name(),
+            h.count(),
+            h.mean(),
+            h.approx_quantile(0.5),
+            h.approx_quantile(0.9),
+            h.approx_quantile(0.99),
+            h.max()
+        );
     }
 }
 
@@ -314,13 +413,31 @@ mod tests {
                 outcome: "recovered".to_string(),
                 detail: "rounds=4".to_string(),
             },
+            Event::Cascade {
+                label: "recovery".to_string(),
+                start: 10,
+                end: 14,
+                delivered: 9,
+                roots: 2,
+                edges: 7,
+                depth: h.clone(),
+                width_max: 4,
+                handled_by_kind: vec![5, 4, 0, 0, 0, 0, 0],
+                children_by_kind: vec![6, 1, 0, 0, 0, 0, 0],
+            },
             Event::Summary {
                 rounds: 9,
                 total_sent: 123,
                 latency: h.clone(),
                 depth: h.clone(),
                 forget_age: Histogram::new(),
-                lrl_len: h,
+                lrl_len: h.clone(),
+                latency_by_kind: {
+                    let mut per_kind = vec![Histogram::new(); MessageKind::COUNT];
+                    per_kind[0] = h.clone();
+                    per_kind
+                },
+                cascade_depth: h,
             },
         ];
         events.into_iter().map(line).collect::<Vec<_>>().join("\n")
@@ -345,6 +462,23 @@ mod tests {
         assert!(report.contains("lin"), "kind names present: {report}");
         assert!(report.contains("123 messages sent"), "{report}");
         assert!(report.contains("latency (rounds"), "{report}");
+        assert!(
+            report.contains("latency percentiles by message kind"),
+            "{report}"
+        );
+        assert!(report.contains("p90"), "{report}");
+        assert!(
+            report.contains("repair cascade \"recovery\": rounds 10 -> 14"),
+            "{report}"
+        );
+        assert!(
+            report.contains("9 deliveries = 2 roots + 7 caused"),
+            "{report}"
+        );
+        assert!(report.contains("per-kind fan-out"), "{report}");
+        // lin: 6 children / 5 handled = 1.20 fan-out.
+        assert!(report.contains("1.20"), "{report}");
+        assert!(report.contains("cascade depth"), "{report}");
         assert!(report.contains("no samples"), "empty forget hist: {report}");
         // The deliver phase dominates the synthetic sample: 500/1000.
         assert!(report.contains("50.0%"), "{report}");
@@ -358,7 +492,7 @@ mod tests {
             round: 1,
             phase: "lcc".to_string(),
         });
-        bad = bad.replace("\"v\":1", "\"v\":999");
+        bad = bad.replace("\"v\":2", "\"v\":999");
         let err = render_report(&bad).unwrap_err();
         assert!(err.contains("unsupported schema_version"), "{err}");
     }

@@ -74,6 +74,7 @@ impl Table {
 
     /// Prints the rendered table to stdout.
     pub fn print(&self) {
+        // lint: allow(println-in-lib) — Table is the experiments' console surface.
         println!("{}", self.render());
     }
 }

@@ -24,6 +24,8 @@ use rand::{Rng, RngExt as _};
 use serde::{Deserialize, Serialize};
 use swn_core::message::Message;
 
+use crate::obs::causal::CauseTag;
+
 /// How the scheduler decides which queued messages to deliver each round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub enum DeliveryPolicy {
@@ -72,10 +74,19 @@ impl DeliveryPolicy {
 /// two parallel vecs, so the message payloads are contiguous and can be
 /// borrowed as a plain `&[Message]` slice by the measurement views
 /// without cloning the channel.
+///
+/// A third, *lazy* lane carries causal provenance for the observability
+/// layer: `causes[i]` tags `msgs[i]`, with the invariant
+/// `causes.len() <= msgs.len()` — any missing tail is implicitly
+/// [`CauseTag::ROOT`]. The detached round loop only ever calls
+/// [`Channel::push`] and the non-causal takes, so `causes` stays an
+/// empty vec (its `clear()` is a no-op on a null pointer) and the
+/// uninstrumented path is byte-identical to the pre-causal code.
 #[derive(Clone, Debug, Default)]
 pub struct Channel {
     msgs: Vec<Message>,
     enqueued: Vec<u64>,
+    causes: Vec<CauseTag>,
 }
 
 impl Channel {
@@ -88,6 +99,17 @@ impl Channel {
     pub fn push(&mut self, msg: Message, round: u64) {
         self.msgs.push(msg);
         self.enqueued.push(round);
+    }
+
+    /// Enqueues a message at round `round` with its causal provenance —
+    /// the observability layer's push. Pads the `causes` lane with
+    /// [`CauseTag::ROOT`] first, so tags enqueued after a stretch of
+    /// untagged pushes still line up with their messages.
+    pub fn push_caused(&mut self, msg: Message, round: u64, tag: CauseTag) {
+        self.causes.resize(self.msgs.len(), CauseTag::ROOT);
+        self.msgs.push(msg);
+        self.enqueued.push(round);
+        self.causes.push(tag);
     }
 
     /// Number of queued messages.
@@ -116,6 +138,7 @@ impl Channel {
     pub fn clear(&mut self) {
         self.msgs.clear();
         self.enqueued.clear();
+        self.causes.clear();
     }
 
     /// Takes the messages to deliver in round `now` under `policy`,
@@ -145,6 +168,11 @@ impl Channel {
         out: &mut Vec<Message>,
     ) {
         out.clear();
+        // A non-causal take invalidates any provenance tags (messages
+        // move without their lane); kept messages become implicit
+        // roots. Free when no observer ever tagged: clearing an empty
+        // vec is a single length store.
+        self.causes.clear();
         // Fast path for the hot case: `Immediate` policy with every
         // queued message eligible (nobody sent to this node yet in the
         // current round). The whole storage is handed to `out` by
@@ -204,6 +232,8 @@ impl Channel {
         out: &mut Vec<(Message, u64)>,
     ) {
         out.clear();
+        // Tags are not handed out by this take: invalidate them.
+        self.causes.clear();
         // Mirror of the untagged fast path: every queued message is
         // eligible under Immediate, so hand everything over in enqueue
         // order, then one shuffle.
@@ -233,6 +263,64 @@ impl Channel {
         }
         self.msgs.truncate(kept);
         self.enqueued.truncate(kept);
+        out.shuffle(rng);
+    }
+
+    /// [`Channel::take_deliverable_tagged`] with each message's causal
+    /// provenance attached — the `OBS = true` round loop's take. The
+    /// `causes` lane is padded to length with [`CauseTag::ROOT`] first
+    /// (untagged pushes are implicit roots), then mirrors the tagged
+    /// take element for element.
+    ///
+    /// **RNG-stream equality** holds by the same argument as the tagged
+    /// variant: per-element `random_bool` draws depend only on
+    /// `enqueued`/`now`/`policy`, and `shuffle` consumes draws as a
+    /// function of slice *length* alone — tag payloads ride along for
+    /// free. Pinned by `causal_take_matches_tagged_order` below and the
+    /// golden event-stream fingerprint.
+    pub fn take_deliverable_causal<R: Rng + ?Sized>(
+        &mut self,
+        now: u64,
+        policy: DeliveryPolicy,
+        rng: &mut R,
+        out: &mut Vec<(Message, u64, CauseTag)>,
+    ) {
+        out.clear();
+        self.causes.resize(self.msgs.len(), CauseTag::ROOT);
+        if matches!(policy, DeliveryPolicy::Immediate) && self.enqueued.iter().all(|&e| e < now) {
+            out.extend(
+                self.msgs
+                    .drain(..)
+                    .zip(self.enqueued.drain(..))
+                    .zip(self.causes.drain(..))
+                    .map(|((m, e), c)| (m, e, c)),
+            );
+            out.shuffle(rng);
+            return;
+        }
+        let mut kept = 0;
+        for i in 0..self.msgs.len() {
+            let enqueued_at = self.enqueued[i];
+            let deliver = enqueued_at < now
+                && match policy {
+                    DeliveryPolicy::Immediate => true,
+                    DeliveryPolicy::RandomDelay {
+                        p_deliver,
+                        max_delay,
+                    } => now - enqueued_at >= max_delay || rng.random_bool(p_deliver),
+                };
+            if deliver {
+                out.push((self.msgs[i], enqueued_at, self.causes[i]));
+            } else {
+                self.msgs[kept] = self.msgs[i];
+                self.enqueued[kept] = enqueued_at;
+                self.causes[kept] = self.causes[i];
+                kept += 1;
+            }
+        }
+        self.msgs.truncate(kept);
+        self.enqueued.truncate(kept);
+        self.causes.truncate(kept);
         out.shuffle(rng);
     }
 }
@@ -389,6 +477,106 @@ mod tests {
                 "{policy:?} RNG streams diverged after take"
             );
         }
+    }
+
+    #[test]
+    fn causal_take_matches_tagged_order() {
+        // Same seed, same content: the causal take must deliver the same
+        // (message, enqueue-round) stream and consume the same RNG as
+        // the tagged take, with tags riding along — across the Immediate
+        // fast path, the general path, and RandomDelay.
+        use crate::obs::causal::{CauseId, CauseTag};
+        let scenarios: [(DeliveryPolicy, Option<u64>); 3] = [
+            (DeliveryPolicy::Immediate, None),
+            (DeliveryPolicy::Immediate, Some(5)), // straggler: general path
+            (
+                DeliveryPolicy::RandomDelay {
+                    p_deliver: 0.5,
+                    max_delay: 10,
+                },
+                None,
+            ),
+        ];
+        for (policy, straggler) in scenarios {
+            let mut tagged = Channel::new();
+            let mut causal = Channel::new();
+            for i in 1..=25u64 {
+                tagged.push(lin(i as f64 / 100.0), i % 4);
+                // Mixed provenance: odd pushes tagged, even untagged
+                // (implicitly ROOT after padding).
+                if i % 2 == 1 {
+                    let tag = CauseTag {
+                        parent: CauseId {
+                            round: i % 4,
+                            slot: 0,
+                            seq: i,
+                        },
+                        depth: 1,
+                    };
+                    causal.push_caused(lin(i as f64 / 100.0), i % 4, tag);
+                } else {
+                    causal.push(lin(i as f64 / 100.0), i % 4);
+                }
+            }
+            if let Some(r) = straggler {
+                tagged.push(lin(0.99), r);
+                causal.push(lin(0.99), r);
+            }
+            let mut rng_t = StdRng::seed_from_u64(7);
+            let mut rng_c = StdRng::seed_from_u64(7);
+            let mut out_t = Vec::new();
+            let mut out_c = vec![(lin(0.5), 9, CauseTag::ROOT)]; // stale
+            tagged.take_deliverable_tagged(5, policy, &mut rng_t, &mut out_t);
+            causal.take_deliverable_causal(5, policy, &mut rng_c, &mut out_c);
+            let untag: Vec<(Message, u64)> = out_c.iter().map(|&(m, e, _)| (m, e)).collect();
+            assert_eq!(untag, out_t, "{policy:?} delivery stream diverged");
+            assert_eq!(tagged.as_slice(), causal.as_slice(), "same compaction");
+            // Tags followed their messages through the shuffle: the
+            // i-th push was tagged with parent seq = i iff i is odd.
+            for i in 1..=25u64 {
+                let Some(&(_, _, tag)) =
+                    out_c.iter().find(|&&(m, _, _)| m == lin(i as f64 / 100.0))
+                else {
+                    continue; // not delivered in this scenario
+                };
+                if i % 2 == 1 {
+                    assert_eq!(tag.parent.seq, i, "tag stuck to its message");
+                } else {
+                    assert!(tag.is_root(), "untagged push is an implicit root");
+                }
+            }
+            assert_eq!(
+                rng_t.random_range(0u64..1_000_000),
+                rng_c.random_range(0u64..1_000_000),
+                "{policy:?} RNG streams diverged after take"
+            );
+        }
+    }
+
+    #[test]
+    fn nontagged_take_invalidates_stale_causes() {
+        use crate::obs::causal::{CauseId, CauseTag};
+        let tag = CauseTag {
+            parent: CauseId {
+                round: 0,
+                slot: 3,
+                seq: 9,
+            },
+            depth: 2,
+        };
+        let mut ch = Channel::new();
+        ch.push_caused(lin(0.1), 0, tag);
+        ch.push(lin(0.2), 5); // straggler keeps the channel non-empty
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        ch.take_deliverable_into(5, DeliveryPolicy::Immediate, &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+        // The straggler's tag lane was invalidated: a later causal take
+        // sees it as a root, not as the departed message's tag.
+        let mut causal_out = Vec::new();
+        ch.take_deliverable_causal(6, DeliveryPolicy::Immediate, &mut rng, &mut causal_out);
+        assert_eq!(causal_out.len(), 1);
+        assert!(causal_out[0].2.is_root());
     }
 
     #[test]

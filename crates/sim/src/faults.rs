@@ -30,6 +30,7 @@
 //! [`Channel`]: crate::channel::Channel
 
 use crate::network::Network;
+use crate::obs::causal::CascadeReport;
 use crate::obs::Event;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom as _;
@@ -510,6 +511,11 @@ pub struct WatchReport {
     pub dropped_fault: u64,
     /// The round budget the watch ran under.
     pub budget: u64,
+    /// Shape of the repair cascade observed during the watch: depth
+    /// histogram, width profile and per-kind fan-out of the causal DAG.
+    /// Present only when a sink was attached — causal ids exist only on
+    /// the instrumented path.
+    pub cascade: Option<CascadeReport>,
 }
 
 /// Runs the network for up to `budget` rounds from the fault instant
@@ -529,11 +535,16 @@ pub struct WatchReport {
 /// the attached sink, if any.
 pub fn watch_recovery(net: &mut Network, budget: u64) -> WatchReport {
     let start = net.round();
+    // Bracket the watch in a cascade window so the repair's causal DAG
+    // is accounted separately from whatever ran before (no-op without a
+    // sink).
+    net.cascade_begin();
     let mut report = WatchReport {
         verdict: Verdict::BudgetExhausted { budget },
         messages: 0,
         dropped_fault: 0,
         budget,
+        cascade: None,
     };
     let mut sorted = is_sorted_ring_view(&net.view());
     if sorted {
@@ -560,11 +571,30 @@ pub fn watch_recovery(net: &mut Network, budget: u64) -> WatchReport {
         }
     }
     let end = net.round();
+    report.cascade = net.cascade_take();
     net.emit(Event::Span {
         label: "recovery".to_string(),
         start,
         end,
     });
+    if let Some(c) = report.cascade.as_ref() {
+        let ev = Event::Cascade {
+            label: "recovery".to_string(),
+            start: c.start,
+            end: c.end,
+            delivered: c.delivered(),
+            roots: c.stats.roots,
+            edges: c.stats.edges,
+            depth: c.stats.depth.clone(),
+            width_max: c.stats.width_max(),
+            handled_by_kind: c.stats.handled_by_kind.clone(),
+            children_by_kind: c.stats.children_by_kind.clone(),
+        };
+        net.emit(ev);
+    }
+    // The verdict goes last: an anomalous one trips the flight
+    // recorder's auto-dump, and the dump should already contain the
+    // span and cascade records above.
     net.emit(Event::Verdict {
         round: end,
         outcome: report.verdict.outcome().to_string(),

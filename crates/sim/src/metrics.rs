@@ -1,0 +1,510 @@
+//! The live metrics plane: sharded lock-free counters, gauges and log2
+//! histograms with merge-on-read snapshots and Prometheus-style text
+//! exposition.
+//!
+//! The observability layer ([`crate::obs`]) is *post-hoc*: events flow
+//! to a sink and get analyzed after the run. A serving runtime (ROADMAP
+//! E11) and long fault soaks need the opposite — cheap *live* readings
+//! that any thread can bump without locks and any scraper can snapshot
+//! mid-run. This module provides that plane:
+//!
+//! * [`Counter`] — monotone, sharded per thread ([`SHARDS`] lanes of
+//!   relaxed atomics) so concurrent `run_trials` workers never contend
+//!   on a cache line; reads merge the lanes.
+//! * [`Gauge`] — a single last-write-wins cell (point-in-time values
+//!   like the active-set size).
+//! * [`AtomicHistogram`] — the same log2 bucket layout as
+//!   [`obs::Histogram`](Histogram), sharded, with a merge-on-read
+//!   [`AtomicHistogram::snapshot`] that returns a plain [`Histogram`]
+//!   for quantile math.
+//! * [`Registry`] — named get-or-register storage plus
+//!   [`Registry::render_prometheus`] text exposition. A process-wide
+//!   [`global`] registry is provided; the engine publishes into it via
+//!   [`NetMetrics`] (see `Network::attach_metrics`).
+//!
+//! Writers are wait-free (one relaxed `fetch_add`); registration and
+//! reads take a `Mutex` over a plain `Vec` — registration is rare and
+//! scrapes are off the hot path, and the deterministic-crate lint bans
+//! randomized-iteration maps anyway. Metrics are *observational*: they
+//! consume no RNG and never feed back into the computation, so
+//! publishing them cannot perturb a seeded run.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::obs::{Histogram, HIST_BUCKETS};
+
+/// Number of per-thread lanes in sharded metrics. A power of two so the
+/// thread-to-lane map is a mask; 16 lanes keep up to 16 concurrent
+/// writers (the practical `run_trials` worker count) on distinct
+/// cache lines with high probability.
+pub const SHARDS: usize = 16;
+
+/// Monotonically assigns each thread a lane on first metric touch.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's lane: threads round-robin over the lanes, so any
+    /// 16 concurrent writers land on distinct lanes.
+    static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+}
+
+fn shard() -> usize {
+    SHARD.with(|s| *s)
+}
+
+/// A monotone counter sharded over [`SHARDS`] relaxed atomics: writers
+/// bump their thread's lane wait-free, readers merge the lanes.
+#[derive(Debug, Default)]
+pub struct Counter {
+    lanes: [AtomicU64; SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter {
+            lanes: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.lanes[shard()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The merged total (wrapping on overflow, like the lanes).
+    pub fn get(&self) -> u64 {
+        self.lanes
+            .iter()
+            .fold(0u64, |acc, l| acc.wrapping_add(l.load(Ordering::Relaxed)))
+    }
+}
+
+/// A last-write-wins point-in-time value (single atomic cell).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Gauge {
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores `v`.
+    pub fn set(&self, v: u64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// The last stored value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free log2 histogram with the exact bucket layout of
+/// [`Histogram`]: [`SHARDS`] lanes of [`HIST_BUCKETS`] relaxed bucket
+/// atomics plus sharded sums and a `fetch_max` maximum. Reads merge the
+/// lanes into a plain [`Histogram`] ([`AtomicHistogram::snapshot`]) so
+/// all quantile/mean math lives in one place.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    /// `buckets[lane * HIST_BUCKETS + b]`.
+    buckets: Vec<AtomicU64>,
+    sums: [AtomicU64; SHARDS],
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..SHARDS * HIST_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            sums: std::array::from_fn(|_| AtomicU64::new(0)),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (wait-free: two relaxed adds + one
+    /// `fetch_max`).
+    pub fn record(&self, v: u64) {
+        let lane = shard();
+        let b = Histogram::bucket_index(v);
+        self.buckets[lane * HIST_BUCKETS + b].fetch_add(1, Ordering::Relaxed);
+        self.sums[lane].fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Merges the lanes into a plain [`Histogram`]. Concurrent writers
+    /// may land between the bucket and sum reads, so a snapshot taken
+    /// mid-write can be off by in-flight samples — each lane's counts
+    /// are monotone, so it never goes backwards.
+    pub fn snapshot(&self) -> Histogram {
+        let mut buckets = vec![0u64; HIST_BUCKETS];
+        for lane in 0..SHARDS {
+            for (b, acc) in buckets.iter_mut().enumerate() {
+                *acc += self.buckets[lane * HIST_BUCKETS + b].load(Ordering::Relaxed);
+            }
+        }
+        let sum = self
+            .sums
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.load(Ordering::Relaxed)));
+        Histogram::from_parts(buckets, sum, self.max.load(Ordering::Relaxed))
+    }
+}
+
+/// One registered metric, by kind.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<AtomicHistogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A named metric registry with get-or-register semantics and
+/// Prometheus-style text exposition.
+///
+/// Registration takes a mutex over a plain vector (linear name scan):
+/// callers register once and keep the returned `Arc`, so the lock never
+/// sits on a hot path. Lookups by the same name return the *same*
+/// metric — two networks publishing `swn_rounds_total` into one
+/// registry aggregate.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("metrics", &n).finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_register(&self, name: &str, help: &str, mk: impl FnOnce() -> Metric) -> Metric {
+        debug_assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == ':'),
+            "metric name {name:?} is not a valid prometheus identifier"
+        );
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return e.metric.clone();
+        }
+        let metric = mk();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// The counter named `name`, registering it (with `help`) on first
+    /// use.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        match self.get_or_register(name, help, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.type_name()),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.get_or_register(name, help, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.type_name()),
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<AtomicHistogram> {
+        match self.get_or_register(name, help, || {
+            Metric::Histogram(Arc::new(AtomicHistogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!(
+                "metric {name:?} is a {}, not a histogram",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Renders every registered metric in the Prometheus text format
+    /// (`# HELP`/`# TYPE` headers; histograms as cumulative
+    /// `_bucket{le="..."}` series plus `_sum`/`_count`), in registration
+    /// order.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for e in entries.iter() {
+            let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+            let _ = writeln!(out, "# TYPE {} {}", e.name, e.metric.type_name());
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", e.name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", e.name, g.get());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cum = 0u64;
+                    for (b, &c) in snap.buckets().iter().enumerate() {
+                        cum += c;
+                        if b + 1 == HIST_BUCKETS {
+                            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {cum}", e.name);
+                        } else {
+                            let (_, hi) = Histogram::bucket_bounds(b);
+                            let _ = writeln!(out, "{}_bucket{{le=\"{hi}\"}} {cum}", e.name);
+                        }
+                    }
+                    let _ = writeln!(out, "{}_sum {}", e.name, snap.sum());
+                    let _ = writeln!(out, "{}_count {}", e.name, snap.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry: what the engine ([`NetMetrics`]) and the
+/// trial runner ([`crate::parallel::run_trials`]) publish into by
+/// default.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The engine's published metrics — one handle bundle the round loop
+/// bumps at end of round when attached (`Network::attach_metrics`).
+/// Handles resolve by *name*, so every network attached to the same
+/// registry aggregates into the same series.
+#[derive(Debug)]
+pub struct NetMetrics {
+    /// `swn_rounds_total`: rounds executed.
+    pub rounds: Arc<Counter>,
+    /// `swn_messages_sent_total`: messages sent.
+    pub sent: Arc<Counter>,
+    /// `swn_messages_delivered_total`: messages delivered.
+    pub delivered: Arc<Counter>,
+    /// `swn_active_set_size`: agenda size after the round (upper bound
+    /// on next round's active nodes); live node count under full scan.
+    pub active_set: Arc<Gauge>,
+    /// `swn_quiescent_rounds_total`: rounds ending with an empty
+    /// agenda (active-set mode only).
+    pub quiescent_rounds: Arc<Counter>,
+    /// `swn_sched_wakeups_total`: agenda insertions (deduplicated
+    /// schedule calls) — how much waking the scheduler actually did.
+    pub sched_wakeups: Arc<Counter>,
+}
+
+impl NetMetrics {
+    /// Registers (or resolves) the engine series in `reg`.
+    pub fn register(reg: &Registry) -> Self {
+        NetMetrics {
+            rounds: reg.counter("swn_rounds_total", "Simulation rounds executed"),
+            sent: reg.counter("swn_messages_sent_total", "Protocol messages sent"),
+            delivered: reg.counter(
+                "swn_messages_delivered_total",
+                "Protocol messages delivered",
+            ),
+            active_set: reg.gauge(
+                "swn_active_set_size",
+                "Scheduler agenda size after the last round",
+            ),
+            quiescent_rounds: reg.counter(
+                "swn_quiescent_rounds_total",
+                "Rounds that ended with an empty agenda",
+            ),
+            sched_wakeups: reg.counter(
+                "swn_sched_wakeups_total",
+                "Agenda insertions by the active-set scheduler",
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_merges_across_threads() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        c.add(5);
+        assert_eq!(c.get(), 8005);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(17);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_plain_histogram() {
+        let ah = Arc::new(AtomicHistogram::new());
+        let mut plain = Histogram::new();
+        let samples: Vec<u64> = (0..200).map(|i| i * i % 777).collect();
+        for &v in &samples {
+            plain.record(v);
+        }
+        std::thread::scope(|s| {
+            for chunk in samples.chunks(50) {
+                let ah = Arc::clone(&ah);
+                s.spawn(move || {
+                    for &v in chunk {
+                        ah.record(v);
+                    }
+                });
+            }
+        });
+        let snap = ah.snapshot();
+        assert!(snap.is_well_formed());
+        assert_eq!(snap.buckets(), plain.buckets());
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.sum(), plain.sum());
+        assert_eq!(snap.max(), plain.max());
+        assert_eq!(snap.approx_quantile(0.99), plain.approx_quantile(0.99));
+    }
+
+    #[test]
+    fn registry_get_or_register_returns_the_same_metric() {
+        let reg = Registry::new();
+        let a = reg.counter("swn_test_total", "a test counter");
+        let b = reg.counter("swn_test_total", "ignored duplicate help");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same underlying counter");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn registry_rejects_kind_mismatch() {
+        let reg = Registry::new();
+        let _ = reg.counter("swn_test_total", "a counter");
+        let _ = reg.gauge("swn_test_total", "now a gauge?");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let reg = Registry::new();
+        reg.counter("swn_rounds_total", "Rounds executed").add(42);
+        reg.gauge("swn_active_set_size", "Agenda size").set(7);
+        let h = reg.histogram("swn_latency_rounds", "Delivery latency");
+        for v in [0, 1, 1, 3, 900] {
+            h.record(v);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP swn_rounds_total Rounds executed"));
+        assert!(text.contains("# TYPE swn_rounds_total counter"));
+        assert!(text.contains("swn_rounds_total 42"));
+        assert!(text.contains("# TYPE swn_active_set_size gauge"));
+        assert!(text.contains("swn_active_set_size 7"));
+        assert!(text.contains("# TYPE swn_latency_rounds histogram"));
+        // Cumulative buckets: le="0" sees the one zero sample, le="1"
+        // the two ones on top, +Inf everything.
+        assert!(text.contains("swn_latency_rounds_bucket{le=\"0\"} 1"));
+        assert!(text.contains("swn_latency_rounds_bucket{le=\"1\"} 3"));
+        assert!(text.contains("swn_latency_rounds_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("swn_latency_rounds_sum 905"));
+        assert!(text.contains("swn_latency_rounds_count 5"));
+        // Cumulative series never decreases.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket series must be cumulative: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn net_metrics_register_and_render() {
+        let reg = Registry::new();
+        let m = NetMetrics::register(&reg);
+        m.rounds.inc();
+        m.active_set.set(3);
+        let text = reg.render_prometheus();
+        assert!(text.contains("swn_rounds_total 1"));
+        assert!(text.contains("swn_active_set_size 3"));
+        // Re-registering resolves the same series.
+        let m2 = NetMetrics::register(&reg);
+        m2.rounds.inc();
+        assert_eq!(m.rounds.get(), 2);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = global().counter("swn_global_smoke_total", "smoke");
+        let b = global().counter("swn_global_smoke_total", "smoke");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -20,6 +20,8 @@
 
 use crate::channel::{Channel, DeliveryPolicy};
 use crate::faults::{Fate, FaultInjector, FaultPlan};
+use crate::metrics::NetMetrics;
+use crate::obs::causal::{CascadeReport, CauseTag};
 use crate::obs::{Event, ObsState, Sink};
 use crate::sched::{SchedState, ScheduleMode};
 use crate::slots::SlotIndex;
@@ -65,6 +67,11 @@ pub struct Network {
     // selected (`set_schedule_mode`). Third const-generic arm, same
     // zero-cost dispatch scheme as `obs` and `faults`.
     sched: Option<Box<SchedState>>,
+    // Live metrics: present iff attached (`attach_metrics`). Unlike the
+    // const-generic observers this is a plain runtime branch, taken
+    // once per round after the loop body — invisible next to the
+    // round's O(n) work on every engine arm.
+    metrics: Option<Box<NetMetrics>>,
     seed: u64,
 }
 
@@ -110,6 +117,7 @@ impl Network {
             obs: None,
             faults: None,
             sched: None,
+            metrics: None,
             seed,
         }
     }
@@ -187,6 +195,48 @@ impl Network {
     /// drop log for root-cause analysis.
     pub fn fault_injector(&self) -> Option<&FaultInjector> {
         self.faults.as_deref()
+    }
+
+    /// Attaches a live-metrics handle bundle ([`NetMetrics::register`]):
+    /// every subsequent round publishes round/send/delivery totals and —
+    /// under [`ScheduleMode::ActiveSet`] — the agenda size,
+    /// quiescent-round count and scheduler wakeups into the bundle's
+    /// registry series. Metrics are observational: publishing consumes
+    /// no RNG and cannot perturb the computation. Replaces any previous
+    /// bundle.
+    pub fn attach_metrics(&mut self, metrics: NetMetrics) {
+        self.metrics = Some(Box::new(metrics));
+    }
+
+    /// Detaches the live-metrics bundle (subsequent rounds publish
+    /// nothing), returning it. `None` when nothing was attached.
+    pub fn detach_metrics(&mut self) -> Option<NetMetrics> {
+        self.metrics.take().map(|b| *b)
+    }
+
+    /// True when a live-metrics bundle is attached.
+    pub fn has_metrics(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Opens a causal cascade window at the current round: subsequent
+    /// deliveries accumulate into a fresh window account (depth
+    /// histogram, width profile, per-kind fan-out — see
+    /// [`CascadeReport`]). No-op without an attached sink: causal ids
+    /// only exist on the instrumented path.
+    pub fn cascade_begin(&mut self) {
+        let round = self.round;
+        if let Some(o) = self.obs.as_mut() {
+            o.causal.begin_window(round);
+        }
+    }
+
+    /// Closes the current cascade window, returning its report and
+    /// opening a fresh one. `None` without an attached sink.
+    pub fn cascade_take(&mut self) -> Option<CascadeReport> {
+        let round = self.round;
+        let o = self.obs.as_mut()?;
+        Some(o.causal.take_window(round))
     }
 
     /// Selects the round schedule. [`ScheduleMode::FullScan`] (the
@@ -438,30 +488,62 @@ impl Network {
             // schedule; `flush_equivalence` in the tests below pins both
             // halves of this claim against the per-message reference.
             if OBS {
-                // Tagged take: identical delivery order and RNG stream
-                // (see `take_deliverable_tagged`), plus each message's
-                // enqueue round for the latency histogram and the
-                // channel-depth high-water mark read before draining.
+                // Both instrumented takes keep the delivery order and
+                // RNG stream identical to the detached one (see
+                // `take_deliverable_tagged` / `take_deliverable_causal`)
+                // and surface each message's enqueue round for the
+                // latency histograms; the channel-depth high-water mark
+                // is read before draining either way. Only an open
+                // cascade window pays for provenance: the causal take
+                // drags the `causes` lane along and feeds every delivery
+                // to the DAG accounting, while the steady-state path
+                // sticks to the cheap (message, enqueued) pairs.
                 let obs = self.obs.as_mut().expect("OBS implies observer state");
                 let depth = u64::try_from(self.channels[i].len()).unwrap_or(u64::MAX);
                 obs.depth_round_max = obs.depth_round_max.max(depth);
-                let mut tagged = std::mem::take(&mut obs.tagged);
-                timed(sample, &mut ph[1], || {
-                    self.channels[i].take_deliverable_tagged(
-                        now,
-                        self.policy,
-                        &mut self.rng,
-                        &mut tagged,
-                    );
-                });
-                inbox.clear();
-                let obs = self.obs.as_mut().expect("OBS implies observer state");
-                for &(m, enqueued) in &tagged {
-                    obs.latency.record(now.saturating_sub(enqueued));
-                    inbox.push(m);
+                if obs.causal.active {
+                    let mut tagged = std::mem::take(&mut obs.tagged);
+                    timed(sample, &mut ph[1], || {
+                        self.channels[i].take_deliverable_causal(
+                            now,
+                            self.policy,
+                            &mut self.rng,
+                            &mut tagged,
+                        );
+                    });
+                    inbox.clear();
+                    let obs = self.obs.as_mut().expect("OBS implies observer state");
+                    let slot = u32::try_from(i).unwrap_or(u32::MAX);
+                    for &(m, enqueued, tag) in &tagged {
+                        let lat = now.saturating_sub(enqueued);
+                        obs.latency.record(lat);
+                        obs.latency_by_kind[m.kind().index()].record(lat);
+                        obs.causal.on_delivery(now, slot, tag, m.kind());
+                        inbox.push(m);
+                    }
+                    tagged.clear();
+                    obs.tagged = tagged;
+                } else {
+                    let mut pairs = std::mem::take(&mut obs.pairs);
+                    timed(sample, &mut ph[1], || {
+                        self.channels[i].take_deliverable_tagged(
+                            now,
+                            self.policy,
+                            &mut self.rng,
+                            &mut pairs,
+                        );
+                    });
+                    inbox.clear();
+                    let obs = self.obs.as_mut().expect("OBS implies observer state");
+                    for &(m, enqueued) in &pairs {
+                        let lat = now.saturating_sub(enqueued);
+                        obs.latency.record(lat);
+                        obs.latency_by_kind[m.kind().index()].record(lat);
+                        inbox.push(m);
+                    }
+                    pairs.clear();
+                    obs.pairs = pairs;
                 }
-                tagged.clear();
-                obs.tagged = tagged;
             } else {
                 self.channels[i].take_deliverable_into(now, self.policy, &mut self.rng, &mut inbox);
             }
@@ -473,6 +555,17 @@ impl Network {
                     stats.count_delivered(m.kind());
                     let node = self.nodes[i].as_mut().expect("checked above");
                     node.on_message(m, &mut self.rng, &mut self.outbox);
+                    if OBS && !flush_per_message {
+                        // Cumulative send-count boundary: outbox sends
+                        // up to here were emitted by the messages
+                        // handled so far; `flush_outbox` resolves send
+                        // index → handled message from these markers.
+                        // Only worth keeping while a window collects.
+                        let obs = self.obs.as_mut().expect("OBS implies observer state");
+                        if obs.causal.active {
+                            obs.causal.bounds.push(self.outbox.sends().len());
+                        }
+                    }
                     if flush_per_message {
                         self.flush_outbox::<OBS, FAULTS, ACTIVE>(i, now, &mut stats);
                     }
@@ -526,6 +619,12 @@ impl Network {
         if OBS {
             self.observe_round_end(now, sample, &stats);
         }
+        // Live metrics: one well-predicted runtime branch per round (not
+        // a const-generic arm), so `attach_metrics` composes with every
+        // engine monomorphization and costs nothing detached.
+        if self.metrics.is_some() {
+            self.publish_round_metrics(&stats);
+        }
         if let Some(t0) = t_stats {
             ph[4] = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             self.emit(Event::PhaseTimes {
@@ -538,6 +637,37 @@ impl Network {
             });
         }
         stats
+    }
+
+    /// End-of-round publish into the attached live-metrics bundle:
+    /// totals from the round's stats, and the scheduler's agenda gauge
+    /// plus wakeup/quiescence counters when active-set mode is on
+    /// (under full scan the agenda gauge reads the live node count).
+    fn publish_round_metrics(&mut self, stats: &RoundStats) {
+        let Network {
+            metrics,
+            sched,
+            index,
+            ..
+        } = self;
+        let Some(m) = metrics.as_deref() else { return };
+        m.rounds.inc();
+        m.sent.add(stats.total_sent());
+        m.delivered.add(stats.total_delivered());
+        match sched.as_deref_mut() {
+            Some(s) => {
+                let active = u64::try_from(s.active_len()).unwrap_or(u64::MAX);
+                m.active_set.set(active);
+                m.sched_wakeups.add(s.take_wakeups());
+                if active == 0 {
+                    m.quiescent_rounds.inc();
+                }
+            }
+            None => {
+                m.active_set
+                    .set(u64::try_from(index.len()).unwrap_or(u64::MAX));
+            }
+        }
     }
 
     /// End-of-round observer bookkeeping (instrumented path only): the
@@ -748,7 +878,17 @@ impl Network {
                 }
             }
         }
-        for &(dest, msg) in outbox.sends() {
+        // Causal attribution (OBS with an open cascade window only):
+        // send `k` of this flush belongs to the handled message whose
+        // cumulative-send boundary covers it
+        // (`CausalState::tag_for_send`); flushes with no boundaries
+        // (regular actions, external inputs) tag everything as cascade
+        // roots. Attribution is pure bookkeeping — no RNG, no effect on
+        // routing — and outside a window sends take the untagged push,
+        // leaving the `causes` lane untouched.
+        let causal_active = OBS && obs.as_ref().is_some_and(|o| o.causal.active);
+        let mut cause_cursor = 0usize;
+        for (k, &(dest, msg)) in outbox.sends().iter().enumerate() {
             stats.count_sent(msg.kind());
             if let Some(t) = *tracked {
                 if msg.carried_ids().any(|x| x == t) {
@@ -781,11 +921,26 @@ impl Network {
                     }
                 }
             }
+            let tag = if causal_active {
+                match obs.as_mut() {
+                    Some(o) => o.causal.tag_for_send(k, &mut cause_cursor),
+                    None => CauseTag::ROOT,
+                }
+            } else {
+                CauseTag::ROOT
+            };
             match index.get(dest) {
                 Some(j) => {
-                    channels[j].push(msg, now);
-                    if FAULTS && duplicate {
+                    if causal_active {
+                        channels[j].push_caused(msg, now, tag);
+                        if FAULTS && duplicate {
+                            channels[j].push_caused(msg, now, tag);
+                        }
+                    } else {
                         channels[j].push(msg, now);
+                        if FAULTS && duplicate {
+                            channels[j].push(msg, now);
+                        }
                     }
                     if ACTIVE {
                         // Mail wakes its recipient: settled or not, the
@@ -811,7 +966,14 @@ impl Network {
                         node.clear_dangling(dest);
                         if let Message::Lin(x) = msg {
                             if x != dest && index.contains(x) {
-                                channels[sender].push(msg, now);
+                                // The bounce keeps its provenance: the
+                                // reprocessed copy is the same causal
+                                // node, not a fresh root.
+                                if causal_active {
+                                    channels[sender].push_caused(msg, now, tag);
+                                } else {
+                                    channels[sender].push(msg, now);
+                                }
                                 bounced = true;
                             }
                         }
@@ -830,6 +992,14 @@ impl Network {
                         stats.dropped_churn += 1;
                     }
                 }
+            }
+        }
+        if OBS {
+            // The batch's attribution scratch is spent; the next flush
+            // (the regular action's) starts clean, so its sends are
+            // roots.
+            if let Some(o) = obs.as_mut() {
+                o.causal.end_batch();
             }
         }
         outbox.clear();
@@ -1721,6 +1891,73 @@ mod tests {
             .expect("forgets observed");
         assert_eq!(forget_hist.max(), max);
         assert!((forget_hist.mean() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cascade_window_reports_repair_shape_after_churn() {
+        let mut net = stable_net(10, 6);
+        let (sink, _records) = crate::obs::MemorySink::new();
+        net.attach_sink(Box::new(sink), 8);
+        net.run(5);
+        net.cascade_begin();
+        let victim = net.ids()[4];
+        net.remove_node(victim);
+        net.run(30);
+        let rep = net.cascade_take().expect("sink attached");
+        assert_eq!(rep.start, 5);
+        assert_eq!(rep.end, 35);
+        assert!(rep.delivered() > 0);
+        assert!(rep.stats.roots > 0, "regular actions seed cascade roots");
+        assert!(rep.stats.edges > 0, "receive handlers cause further sends");
+        assert!(rep.depth_max() >= 1, "repairs chain at least once");
+        assert!(rep.stats.width_max() >= 1);
+        assert_eq!(
+            rep.delivered(),
+            rep.stats.roots + rep.stats.edges,
+            "every delivery is a root or an edge"
+        );
+        let handled: u64 = rep.stats.handled_by_kind.iter().sum();
+        assert_eq!(handled, rep.delivered());
+        // The window reset: a fresh window starts empty.
+        let rep2 = net.cascade_take().expect("sink still attached");
+        assert_eq!(rep2.delivered(), 0);
+        // Without a sink the window API is inert.
+        net.detach_sink();
+        assert!(net.cascade_take().is_none());
+        net.cascade_begin();
+    }
+
+    #[test]
+    fn metrics_publish_rounds_and_active_set() {
+        let reg = crate::metrics::Registry::new();
+        let mut net = stable_net(8, 2);
+        net.set_schedule_mode(crate::sched::ScheduleMode::ActiveSet);
+        assert!(!net.has_metrics());
+        net.attach_metrics(crate::metrics::NetMetrics::register(&reg));
+        assert!(net.has_metrics());
+        drain(&mut net, 50);
+        net.step(); // one guaranteed quiescent round
+        let m = net.detach_metrics().expect("was attached");
+        assert!(!net.has_metrics());
+        assert_eq!(m.rounds.get(), net.round());
+        assert!(m.sent.get() > 0);
+        assert_eq!(m.sent.get(), net.trace().total_sent());
+        assert_eq!(m.delivered.get(), net.trace().total_delivered());
+        assert!(
+            m.sched_wakeups.get() >= 8,
+            "the initial full agenda counts as wakeups"
+        );
+        assert_eq!(m.active_set.get(), 0, "drained agenda");
+        assert!(m.quiescent_rounds.get() >= 1);
+        // Detached: stepping publishes nothing further.
+        net.step();
+        assert_eq!(m.rounds.get() + 1, net.round());
+        // Full scan publishes the live node count as the active gauge.
+        let mut fs = stable_net(5, 3);
+        fs.attach_metrics(crate::metrics::NetMetrics::register(&reg));
+        fs.step();
+        let m = fs.detach_metrics().expect("attached");
+        assert_eq!(m.active_set.get(), 5);
     }
 
     /// Steps until the agenda is empty (panics after `max` rounds).

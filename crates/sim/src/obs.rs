@@ -24,23 +24,38 @@
 //! bench's instrumented-vs-noop pair guards this).
 //!
 //! **Observers read, never mutate, and consume no RNG.** Events are
-//! derived from state the loop already computes; the tagged channel
-//! take ([`Channel::take_deliverable_tagged`]) consumes the identical
+//! derived from state the loop already computes; the causal channel
+//! take ([`Channel::take_deliverable_causal`]) consumes the identical
 //! RNG stream as the untagged one; wall-clock readings appear only in
 //! timing payloads. The golden-trace suite pins both halves: state
 //! digests are bit-for-bit identical with a sink attached, and the
 //! structural event stream itself is fingerprinted.
 //!
-//! [`Channel::take_deliverable_tagged`]: crate::channel::Channel::take_deliverable_tagged
+//! Two submodules extend the layer (PR 9): [`causal`] gives every
+//! delivered message a `CauseId` and reconstructs repair-cascade DAGs,
+//! and [`flight`] bounds trace memory with a ring buffer that dumps a
+//! JSONL post-mortem on anomalous watchdog verdicts.
+//!
+//! [`Channel::take_deliverable_causal`]: crate::channel::Channel::take_deliverable_causal
+
+pub mod causal;
+pub mod flight;
 
 use serde::{Deserialize, Serialize};
 use std::io::Write as _;
 use std::sync::{Arc, Mutex};
 
+use causal::{CausalState, CauseTag};
+use flight::FlightBuffer;
+use swn_core::message::MessageKind;
+
 /// Version tag stamped on every emitted [`Record`]. Bumped on any
 /// breaking change to the [`Event`] layout; readers reject unknown
 /// versions instead of guessing.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 (PR 9): `Summary` gained `latency_by_kind` + `cascade_depth`,
+/// and the `Cascade` event was added.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Number of histogram buckets: one for zero plus one per power of two
 /// up to `2^32 - 1` (everything larger lands in the last bucket).
@@ -79,7 +94,7 @@ impl Histogram {
         }
     }
 
-    fn bucket_index(v: u64) -> usize {
+    pub(crate) fn bucket_index(v: u64) -> usize {
         if v == 0 {
             return 0;
         }
@@ -97,6 +112,22 @@ impl Histogram {
             (1 << (b - 1), u64::MAX)
         } else {
             (1 << (b - 1), (1 << b) - 1)
+        }
+    }
+
+    /// Rebuilds a histogram from raw per-bucket counts plus the sum and
+    /// max side channels — the merge-on-read path of
+    /// [`crate::metrics::AtomicHistogram::snapshot`]. The count is
+    /// derived from the buckets, so the result is well-formed by
+    /// construction.
+    pub(crate) fn from_parts(buckets: Vec<u64>, sum: u64, max: u64) -> Self {
+        assert_eq!(buckets.len(), HIST_BUCKETS, "fixed bucket layout");
+        let count = buckets.iter().sum();
+        Histogram {
+            buckets,
+            count,
+            sum,
+            max,
         }
     }
 
@@ -276,8 +307,33 @@ pub enum Event {
         /// permanent disconnection).
         detail: String,
     },
-    /// Emitted when the sink is detached: run totals and the four
-    /// online histograms.
+    /// Shape of the repair cascade observed over one causal window
+    /// (`Network::cascade_begin` .. `cascade_take`; the fault watchdog
+    /// brackets every recovery watch with one).
+    Cascade {
+        /// Window label, e.g. `"recovery"`.
+        label: String,
+        /// Round the window opened at.
+        start: u64,
+        /// Round the window closed at.
+        end: u64,
+        /// Total messages delivered inside the window.
+        delivered: u64,
+        /// Deliveries at depth 0: cascade chains started.
+        roots: u64,
+        /// Deliveries at depth > 0: realized parent→child edges.
+        edges: u64,
+        /// Cascade depth of every delivery (0 = root).
+        depth: Histogram,
+        /// Deliveries at the most populated depth level.
+        width_max: u64,
+        /// Deliveries by message kind (`MessageKind::index` order).
+        handled_by_kind: Vec<u64>,
+        /// Children emitted, indexed by the parent's kind.
+        children_by_kind: Vec<u64>,
+    },
+    /// Emitted when the sink is detached: run totals and the online
+    /// histograms.
     Summary {
         /// Total rounds executed.
         rounds: u64,
@@ -292,6 +348,11 @@ pub enum Event {
         /// lrl ring length (rank distance), sampled every
         /// `sample_every` rounds.
         lrl_len: Histogram,
+        /// Message latency split by kind (`MessageKind::index` order).
+        latency_by_kind: Vec<Histogram>,
+        /// Cascade depth of every delivered message over the run
+        /// (0 = root; see [`causal`]).
+        cascade_depth: Histogram,
     },
 }
 
@@ -397,16 +458,30 @@ impl Sink for JsonlSink {
 }
 
 /// Collects records in memory behind a shared handle — the test sink.
+///
+/// Backed by a [`FlightBuffer`] ring, so a forgotten long-soak sink can
+/// no longer grow without bound: past [`MemorySink::DEFAULT_CAPACITY`]
+/// records the oldest are evicted and `dropped_records` counts them.
+/// Use [`MemorySink::with_capacity`] to size the window explicitly.
 #[derive(Debug)]
 pub struct MemorySink {
-    records: Arc<Mutex<Vec<Record>>>,
+    records: Arc<Mutex<FlightBuffer>>,
 }
 
 impl MemorySink {
+    /// Default ring capacity — roomy enough that every test trace fits
+    /// unevicted, bounded enough that a soak cannot exhaust memory.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
     /// A new sink plus the handle its records stay reachable through
     /// after the sink is attached (and consumed) by a network.
-    pub fn new() -> (Self, Arc<Mutex<Vec<Record>>>) {
-        let records = Arc::new(Mutex::new(Vec::new()));
+    pub fn new() -> (Self, Arc<Mutex<FlightBuffer>>) {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A sink whose ring keeps at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> (Self, Arc<Mutex<FlightBuffer>>) {
+        let records = Arc::new(Mutex::new(FlightBuffer::new(capacity)));
         (
             MemorySink {
                 records: Arc::clone(&records),
@@ -435,10 +510,18 @@ pub(crate) struct ObsState {
     pub(crate) depth: Histogram,
     pub(crate) forget_age: Histogram,
     pub(crate) lrl_len: Histogram,
+    /// Message latency split by kind (`MessageKind::index` order).
+    pub(crate) latency_by_kind: Vec<Histogram>,
+    /// Causal tracing: delivery ids, batch attribution, cascade stats.
+    pub(crate) causal: CausalState,
     /// High-water channel depth seen so far in the current round.
     pub(crate) depth_round_max: u64,
-    /// Scratch for the tagged channel take: (message, enqueue round).
-    pub(crate) tagged: Vec<(swn_core::message::Message, u64)>,
+    /// Scratch for the causal channel take: (message, enqueue round,
+    /// provenance tag). Used only while a cascade window is open.
+    pub(crate) tagged: Vec<(swn_core::message::Message, u64, CauseTag)>,
+    /// Scratch for the cheap tagged take outside cascade windows:
+    /// (message, enqueue round).
+    pub(crate) pairs: Vec<(swn_core::message::Message, u64)>,
     /// Scratch for the sampled lrl-length scan: (id, lrl) ascending.
     pub(crate) lrl_scratch: Vec<(swn_core::id::NodeId, swn_core::id::NodeId)>,
 }
@@ -461,8 +544,11 @@ impl ObsState {
             depth: Histogram::new(),
             forget_age: Histogram::new(),
             lrl_len: Histogram::new(),
+            latency_by_kind: vec![Histogram::new(); MessageKind::COUNT],
+            causal: CausalState::new(),
             depth_round_max: 0,
             tagged: Vec::new(),
+            pairs: Vec::new(),
             lrl_scratch: Vec::new(),
         }
     }
@@ -481,6 +567,8 @@ impl ObsState {
             depth: self.depth.clone(),
             forget_age: self.forget_age.clone(),
             lrl_len: self.lrl_len.clone(),
+            latency_by_kind: self.latency_by_kind.clone(),
+            cascade_depth: self.causal.run_depth.clone(),
         }
     }
 }
@@ -653,5 +741,27 @@ mod tests {
             end: 9,
         }));
         assert_eq!(records.lock().expect("records").len(), 1);
+    }
+
+    #[test]
+    fn memory_sink_is_capped_by_its_flight_ring() {
+        let (mut sink, records) = MemorySink::with_capacity(2);
+        for round in 0..5 {
+            sink.record(&Record::new(Event::Transition {
+                round,
+                phase: "lcc".to_string(),
+            }));
+        }
+        let buf = records.lock().expect("records");
+        assert_eq!(buf.len(), 2, "ring keeps only the newest records");
+        assert_eq!(buf.dropped_records(), 3);
+        let newest: Vec<u64> = buf
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::Transition { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(newest, vec![3, 4]);
     }
 }

@@ -79,6 +79,10 @@ pub(crate) struct SchedState {
     /// The slots that act next round, in scheduling order (canonicalized
     /// by the round loop before use).
     agenda: Vec<usize>,
+    /// Agenda insertions since the last [`SchedState::take_wakeups`] —
+    /// deduplicated `schedule` calls, i.e. how much waking actually
+    /// happened. Feeds the live metrics plane only.
+    wakeups: u64,
 }
 
 impl SchedState {
@@ -89,6 +93,7 @@ impl SchedState {
             scheduled: vec![false; slots],
             settled: vec![false; slots],
             agenda: Vec::new(),
+            wakeups: 0,
         }
     }
 
@@ -107,7 +112,15 @@ impl SchedState {
         if !self.scheduled[slot] {
             self.scheduled[slot] = true;
             self.agenda.push(slot);
+            self.wakeups += 1;
         }
+    }
+
+    /// Agenda insertions since the last call, resetting the counter —
+    /// drained once per round into the `swn_sched_wakeups_total`
+    /// metric.
+    pub(crate) fn take_wakeups(&mut self) -> u64 {
+        std::mem::take(&mut self.wakeups)
     }
 
     /// Moves the agenda into `out` (appending) and clears the flags, so
@@ -177,6 +190,20 @@ mod tests {
         let mut out = vec![7usize];
         s.begin_round(&mut out);
         assert_eq!(out, vec![7, 3]);
+    }
+
+    #[test]
+    fn wakeups_count_deduplicated_inserts_and_drain() {
+        let mut s = SchedState::new(4);
+        s.schedule(1);
+        s.schedule(1); // deduplicated: no second wakeup
+        s.schedule(2);
+        assert_eq!(s.take_wakeups(), 2);
+        assert_eq!(s.take_wakeups(), 0, "drained");
+        let mut out = Vec::new();
+        s.begin_round(&mut out);
+        s.schedule(1); // re-schedulable after the round began
+        assert_eq!(s.take_wakeups(), 1);
     }
 
     #[test]

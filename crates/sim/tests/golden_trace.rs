@@ -292,6 +292,8 @@ fn event_digest(records: &[Record]) -> u64 {
                 depth,
                 forget_age,
                 lrl_len,
+                latency_by_kind,
+                cascade_depth,
             } => {
                 d.push(6);
                 d.push(*rounds);
@@ -300,6 +302,40 @@ fn event_digest(records: &[Record]) -> u64 {
                 push_hist(&mut d, depth);
                 push_hist(&mut d, forget_age);
                 push_hist(&mut d, lrl_len);
+                for h in latency_by_kind {
+                    push_hist(&mut d, h);
+                }
+                push_hist(&mut d, cascade_depth);
+            }
+            // Emitted by the fault watchdog's cascade bracket; hashed
+            // so fault scenarios can pin their causal streams.
+            Event::Cascade {
+                label,
+                start,
+                end,
+                delivered,
+                roots,
+                edges,
+                depth,
+                width_max,
+                handled_by_kind,
+                children_by_kind,
+            } => {
+                d.push(9);
+                push_str(&mut d, label);
+                d.push(*start);
+                d.push(*end);
+                d.push(*delivered);
+                d.push(*roots);
+                d.push(*edges);
+                push_hist(&mut d, depth);
+                d.push(*width_max);
+                for &c in handled_by_kind {
+                    d.push(c);
+                }
+                for &c in children_by_kind {
+                    d.push(c);
+                }
             }
         }
     }
@@ -344,7 +380,7 @@ fn observed_scenario() -> (ScenarioSig, ObsSig) {
         label: sig.label.clone(),
         records: records.len(),
         transitions,
-        event_digest: event_digest(&records),
+        event_digest: event_digest(&records.snapshot()),
     };
     (sig, obs)
 }

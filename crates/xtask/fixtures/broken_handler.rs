@@ -34,3 +34,8 @@ pub fn route(table: &std::collections::BTreeMap<u64, usize>, id: u64) -> Option<
     // Violation: ordered-map lookup on the simulator's hot path.
     table.get(&id).copied()
 }
+
+pub fn report(hops: usize) {
+    // Violation: console output from library code.
+    println!("routed in {hops} hops");
+}

@@ -39,6 +39,13 @@
 //!   the same execution; each exception needs a waiver stating why it
 //!   cannot leak into observable behavior (e.g. a hash map used only
 //!   for keyed lookup, never iterated).
+//! * [`Rule::PrintlnInLib`] — library code (any `crates/*/src/` file
+//!   that is not a `main.rs` or under `bin/`) must not print to the
+//!   console with `println!`/`print!`/`eprintln!`/`eprint!`. Libraries
+//!   return strings or take writers and let the *binary* decide where
+//!   output goes — a stray `println!` in a library corrupts JSONL
+//!   streams and machine-read pipelines. Intentional console surfaces
+//!   (e.g. `Table::print`) carry a waiver.
 //!
 //! A finding is suppressed by a waiver comment `// lint: allow(<rule>)`
 //! on the offending line or the line directly above it.
@@ -69,6 +76,8 @@ pub enum Rule {
     Nondeterminism,
     /// `BTreeMap` in a simulator hot-path module.
     BtreeHotPath,
+    /// Console print macro in library (non-binary) code.
+    PrintlnInLib,
 }
 
 impl Rule {
@@ -81,6 +90,7 @@ impl Rule {
             Rule::MissingForbidUnsafe => "missing-forbid-unsafe",
             Rule::Nondeterminism => "determinism",
             Rule::BtreeHotPath => "btree-hot-path",
+            Rule::PrintlnInLib => "println-in-lib",
         }
     }
 }
@@ -384,6 +394,7 @@ struct FileClass {
     crate_root: bool,
     determinism: bool,
     btree_hot_path: bool,
+    println_in_lib: bool,
 }
 
 /// Handler modules of `swn-core` where a peer-triggered panic is a
@@ -421,6 +432,13 @@ fn classify(path: &str) -> FileClass {
         crate_root: file == "lib.rs" && (p.ends_with("src/lib.rs") || is_fixture),
         determinism: DETERMINISTIC_CRATES.iter().any(|c| p.contains(c)) || is_fixture,
         btree_hot_path: (p.contains("crates/sim/src/") && HOT_PATH_FILES.contains(&file))
+            || is_fixture,
+        // Library code: crate sources that are not the binary entry
+        // points. `main.rs` and everything under `bin/` may print.
+        println_in_lib: (p.contains("crates/")
+            && p.contains("/src/")
+            && file != "main.rs"
+            && !p.contains("/bin/"))
             || is_fixture,
     }
 }
@@ -468,7 +486,11 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
         }
     }
 
-    let tests = if class.handler_unwrap || class.determinism || class.btree_hot_path {
+    let tests = if class.handler_unwrap
+        || class.determinism
+        || class.btree_hot_path
+        || class.println_in_lib
+    {
         test_region_lines(src, &blanked)
     } else {
         Vec::new()
@@ -548,6 +570,31 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
                      or waive with a justification that the map is off the \
                      per-round path"
                         .to_string(),
+                );
+            }
+        }
+    }
+
+    if class.println_in_lib {
+        // Longest needle first: `eprintln!` contains `println!` and
+        // `println!` contains `print!` — break after the first hit so
+        // each offending line yields exactly one finding, named after
+        // the macro actually used.
+        const PRINT_NEEDLES: [&str; 4] = ["eprintln!", "println!", "eprint!", "print!"];
+        for (i, line) in blanked.lines().enumerate() {
+            let n = i + 1;
+            if in_tests(n) {
+                continue;
+            }
+            if let Some(needle) = PRINT_NEEDLES.iter().find(|m| line.contains(*m)) {
+                push(
+                    Rule::PrintlnInLib,
+                    n,
+                    format!(
+                        "`{needle}` in library code; return a string or take a \
+                         writer and let the binary print — or waive for an \
+                         intentional console surface"
+                    ),
                 );
             }
         }
@@ -756,6 +803,7 @@ mod tests {
         assert!(rules.contains(&Rule::HardcodedKindCount), "{v:?}");
         assert!(rules.contains(&Rule::Nondeterminism), "{v:?}");
         assert!(rules.contains(&Rule::BtreeHotPath), "{v:?}");
+        assert!(rules.contains(&Rule::PrintlnInLib), "{v:?}");
     }
 
     #[test]
@@ -820,6 +868,47 @@ mod tests {
         let v = lint_source("crates/sim/src/network.rs", clock);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, Rule::Nondeterminism);
+    }
+
+    #[test]
+    fn println_flagged_in_library_code_only() {
+        let src = "pub fn f() { println!(\"hi\"); }\n";
+        for file in [
+            "crates/sim/src/network.rs",
+            "crates/harness/src/table.rs",
+            "crates/core/src/node.rs",
+        ] {
+            let v = lint_source(file, src);
+            assert!(
+                v.iter().any(|x| x.rule == Rule::PrintlnInLib),
+                "{file}: {v:?}"
+            );
+        }
+        // Binary entry points may print freely.
+        assert!(lint_source("crates/harness/src/bin/experiments.rs", src).is_empty());
+        assert!(lint_source("crates/xtask/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn println_yields_one_finding_per_line_named_after_the_macro() {
+        // `eprintln!` contains both `println!` and `print!` as
+        // substrings; the needle order must still report it once, as
+        // itself.
+        let v = lint_source("crates/sim/src/x.rs", "fn f() { eprintln!(\"x\"); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::PrintlnInLib);
+        assert!(v[0].message.contains("`eprintln!`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn println_spares_tests_doc_comments_and_waivers() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"dbg\"); }\n}\n";
+        assert!(lint_source("crates/sim/src/x.rs", in_test).is_empty());
+        let in_doc = "//! Call `println!` yourself from the binary.\npub fn f() {}\n";
+        assert!(lint_source("crates/sim/src/x.rs", in_doc).is_empty());
+        let waived = "// lint: allow(println-in-lib) — intentional console surface.\n\
+                      pub fn print(s: &str) { println!(\"{s}\"); }\n";
+        assert!(lint_source("crates/harness/src/table.rs", waived).is_empty());
     }
 
     #[test]
