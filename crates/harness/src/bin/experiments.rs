@@ -5,12 +5,14 @@
 //! experiments all [--quick]
 //! experiments report FILE
 //! experiments postmortem FILE
+//! experiments chaos [--quick] [--reproducers DIR]
+//! experiments replay FILE...
 //! experiments list
 //! ```
 //!
-//! Ids: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 a2 a3. `--quick` switches every
-//! experiment to its reduced-scale preset (used by CI smoke runs); the
-//! default is the full scale reported in EXPERIMENTS.md.
+//! Ids: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e12 a1 a2 a3. `--quick` switches
+//! every experiment to its reduced-scale preset (used by CI smoke runs);
+//! the default is the full scale reported in EXPERIMENTS.md.
 //!
 //! `--trace-out FILE` additionally runs the id's representative traced
 //! scenario with a JSONL observation sink attached (see DESIGN.md §9);
@@ -21,13 +23,19 @@
 //! with an anomaly-armed flight recorder: the permanently-disconnected
 //! verdict auto-dumps the recent-event ring to `FILE` as JSONL, naming
 //! the culprit drop. The dump is itself a valid trace for `report`.
+//!
+//! `chaos` runs only the seeded chaos campaign (E12b) as a gate: any
+//! unclassified scenario (panic, budget exhaustion, unattributed
+//! disconnection) exits non-zero, with every failure shrunk to a
+//! minimal JSON reproducer under `--reproducers DIR`. `replay FILE`
+//! re-runs such a reproducer deterministically and prints its verdict.
 
 use std::time::Instant;
 use swn_harness::table::Table;
 use swn_harness::*;
 
-const ALL_IDS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3", "x1",
+const ALL_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "a1", "a2", "a3", "x1",
 ];
 
 fn describe(id: &str) -> &'static str {
@@ -42,6 +50,7 @@ fn describe(id: &str) -> &'static str {
         "e8" => "Watts-Strogatz interpolation figure ([24])",
         "e9" => "stable-state overhead and forget horizon (Sec IV.F)",
         "e10" => "self-stabilization under sustained faults (fault engine + watchdog)",
+        "e12" => "adversarial behaviors, restart disciplines and the chaos campaign",
         "a1" => "ablation: lrl shortcuts in linearization",
         "a2" => "ablation: forget exponent eps",
         "a3" => "ablation: probing cadence",
@@ -132,6 +141,15 @@ fn run_one(id: &str, quick: bool) -> Vec<Table> {
             };
             vec![e10_faults::run(&p), e10_faults::run_disconnect_demo()]
         }
+        "e12" => {
+            let p = if quick {
+                e12_chaos::Params::quick()
+            } else {
+                e12_chaos::Params::full()
+            };
+            let report = e12_chaos::run_campaign_report(&p);
+            vec![e12_chaos::run(&p), e12_chaos::campaign_table(&p, &report)]
+        }
         "a1" => {
             let p = if quick {
                 ablations::Params::quick()
@@ -184,6 +202,16 @@ fn main() {
                 std::process::exit(2);
             }
         });
+    let reproducers =
+        args.iter()
+            .position(|a| a == "--reproducers")
+            .map(|i| match args.get(i + 1) {
+                Some(path) if !path.starts_with("--") => std::path::PathBuf::from(path),
+                _ => {
+                    eprintln!("--reproducers requires a directory path");
+                    std::process::exit(2);
+                }
+            });
     let mut positional: Vec<&str> = Vec::new();
     let mut skip = false;
     for a in &args {
@@ -191,7 +219,7 @@ fn main() {
             skip = false;
             continue;
         }
-        if a == "--trace-out" {
+        if a == "--trace-out" || a == "--reproducers" {
             skip = true;
         } else if !a.starts_with("--") {
             positional.push(a.as_str());
@@ -237,9 +265,80 @@ fn main() {
         return;
     }
 
+    if let Some(("chaos", rest)) = ids.split_first().map(|(f, r)| (*f, r)) {
+        if !rest.is_empty() {
+            eprintln!("usage: experiments chaos [--quick] [--reproducers DIR]");
+            std::process::exit(2);
+        }
+        let p = if quick {
+            e12_chaos::Params::quick()
+        } else {
+            e12_chaos::Params::full()
+        };
+        eprintln!(
+            ">>> chaos campaign: {} scenarios (seed {:#x})",
+            p.scenarios, p.campaign_seed
+        );
+        let report = e12_chaos::run_campaign_report(&p);
+        e12_chaos::campaign_table(&p, &report).print();
+        if let Some(dir) = &reproducers {
+            match e12_chaos::write_reproducers(&report, dir) {
+                Ok(paths) => {
+                    for path in paths {
+                        eprintln!("shrunk reproducer written to {}", path.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cannot write reproducers to {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if !report.clean() {
+            eprintln!(
+                "chaos campaign FAILED: {} unclassified scenario(s)",
+                report.failures.len()
+            );
+            std::process::exit(1);
+        }
+        eprintln!("chaos campaign clean: every scenario classified");
+        return;
+    }
+
+    if let Some(("replay", files)) = ids.split_first().map(|(f, r)| (*f, r)) {
+        if files.is_empty() {
+            eprintln!("usage: experiments replay FILE...");
+            std::process::exit(2);
+        }
+        let mut failed = false;
+        for file in files {
+            match e12_chaos::replay_file(file) {
+                Ok((scenario, result)) => {
+                    println!(
+                        "{file}: n={} start={:?} entries={} -> {} ({:?})",
+                        scenario.n,
+                        scenario.start,
+                        scenario.plan.entry_count(),
+                        result.outcome.label(),
+                        result.outcome
+                    );
+                    failed |= !result.outcome.classified();
+                }
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     if ids.is_empty() || ids == ["list"] {
         println!(
-            "usage: experiments <id>... [--quick] [--trace-out FILE] | all [--quick] | report FILE | postmortem FILE | list\n"
+            "usage: experiments <id>... [--quick] [--trace-out FILE] | all [--quick] | report FILE | postmortem FILE | chaos [--quick] [--reproducers DIR] | replay FILE... | list\n"
         );
         for id in ALL_IDS {
             println!("  {id}  {}", describe(id));

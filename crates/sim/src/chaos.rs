@@ -1,0 +1,878 @@
+//! Chaos campaign engine: randomized fault-plan composition, outcome
+//! classification, and scenario shrinking.
+//!
+//! PR 5's fault engine and the adversarial behaviors execute *scripted*
+//! scenarios — compositions someone thought to write down. This module
+//! samples hundreds of random **valid** [`FaultPlan`] compositions
+//! (benign loss/duplication/partition/crash/perturbation plus
+//! adversarial selective-forward/lying/sybil behaviors, all over
+//! bounded windows), runs each one to a verdict, and — when a run
+//! *fails* (panics, exhausts its budget, or disconnects without an
+//! attributable culprit) — shrinks the scenario to a minimal
+//! reproducer:
+//!
+//! 1. **delta debugging** ([`shrink`]) over the flattened plan entry
+//!    list (chunked complement removal down to single entries), then
+//! 2. **parameter shrinking** — halving windows, downtimes, victim
+//!    counts, refusal kind sets and sybil sizes — to a fixpoint.
+//!
+//! Every [`Scenario`] is self-contained and serde-serializable: the
+//! JSON form replays the exact run (network build, fault schedule and
+//! all RNG streams are derived from its seeds), so a shrunk reproducer
+//! checked into a bug report is a deterministic regression test.
+
+use crate::faults::{
+    find_culprit, watch_recovery, Behavior, Crash, FaultPlan, LieMode, Misbehavior, Partition,
+    Perturbation, RateWindow, Restart, Verdict,
+};
+use crate::init::{generate, InitialTopology};
+use crate::network::Network;
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngExt as _, SeedableRng};
+use serde::{Deserialize, Serialize};
+use swn_core::config::ProtocolConfig;
+use swn_core::id::evenly_spaced_ids;
+use swn_core::invariants::{make_sorted_ring, weakly_connected_view};
+use swn_core::message::MessageKind;
+use swn_core::views::View;
+
+/// The start topology a scenario runs from.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Start {
+    /// The converged sorted ring — faults strike a stable network.
+    Ring,
+    /// A random weakly connected digraph — faults strike mid-
+    /// linearization, where forward-without-store sole carriers are
+    /// live and loss is most dangerous.
+    Sparse {
+        /// Random links added on top of the spanning tree.
+        extra: usize,
+    },
+}
+
+/// A self-contained, replayable chaos scenario: network size, seeds,
+/// start topology, recovery budget and the fault plan. Serialized
+/// scenarios replay deterministically — every random stream in the run
+/// is derived from the seeds stored here.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of nodes at the start.
+    pub n: usize,
+    /// Seed for the network's scheduler/protocol RNG (and the sparse
+    /// topology generator, when applicable).
+    pub net_seed: u64,
+    /// The start topology.
+    pub start: Start,
+    /// Round budget for the post-horizon recovery watch.
+    pub budget: u64,
+    /// The fault schedule (carries its own injector seed).
+    pub plan: FaultPlan,
+}
+
+impl Scenario {
+    /// Serializes the scenario to its replayable JSON form.
+    pub fn to_json(&self) -> String {
+        // Rendering an in-memory Value tree to text cannot fail.
+        // lint: allow(unwrap-in-lib)
+        serde_json::to_string(self).expect("scenario serialization cannot fail")
+    }
+
+    /// Parses a scenario back from JSON, rejecting garbage and invalid
+    /// plans as an error.
+    pub fn from_json(json: &str) -> Result<Scenario, String> {
+        let s: Scenario = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if s.n == 0 {
+            return Err("scenario with zero nodes".to_string());
+        }
+        s.plan.validate()?;
+        Ok(s)
+    }
+
+    /// Builds the start network (without the fault plan attached).
+    pub fn build(&self) -> Network {
+        let ids = evenly_spaced_ids(self.n);
+        let cfg = ProtocolConfig::default();
+        match self.start {
+            Start::Ring => Network::new(make_sorted_ring(&ids, cfg), self.net_seed),
+            Start::Sparse { extra } => generate(
+                InitialTopology::RandomSparse { extra },
+                &ids,
+                cfg,
+                self.net_seed,
+            )
+            .into_network(self.net_seed),
+        }
+    }
+
+    /// The first round at which every scheduled fault (including crash
+    /// restarts) has landed — the boundary between the injection drive
+    /// and the recovery watch.
+    pub fn horizon(&self) -> u64 {
+        let p = &self.plan;
+        let mut h = 1;
+        for w in p.drop.iter().chain(&p.duplicate) {
+            h = h.max(w.end);
+        }
+        for pa in &p.partitions {
+            h = h.max(pa.end);
+        }
+        for c in &p.crashes {
+            h = h.max(c.round.saturating_add(c.down_for));
+        }
+        for pe in &p.perturbations {
+            h = h.max(pe.round.saturating_add(1));
+        }
+        for b in &p.behaviors {
+            h = h.max(b.end);
+        }
+        h
+    }
+}
+
+/// The classified outcome of one scenario run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The sorted ring held again `mttr` rounds after the fault horizon
+    /// (0 when the plan never broke it).
+    Recovered {
+        /// Rounds from the fault horizon to re-stabilization.
+        mttr: u64,
+    },
+    /// The knowledge graph disconnected — permanent by the closure
+    /// argument. `attributed` is true when the culprit sole-carrier
+    /// drop was identified in the drop log.
+    Disconnected {
+        /// The absolute round disconnection was detected at.
+        round: u64,
+        /// Whether a culprit drop record was identified.
+        attributed: bool,
+    },
+    /// The recovery watch ran out of rounds with the graph still
+    /// connected.
+    BudgetExhausted {
+        /// The exhausted watch budget.
+        budget: u64,
+    },
+    /// The run panicked — always a bug, never a valid classification.
+    Panicked {
+        /// The panic payload, when printable.
+        message: String,
+    },
+}
+
+impl Outcome {
+    /// Stable label for per-class tallies.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Recovered { .. } => "recovered",
+            Outcome::Disconnected { .. } => "disconnected",
+            Outcome::BudgetExhausted { .. } => "budget_exhausted",
+            Outcome::Panicked { .. } => "panicked",
+        }
+    }
+
+    /// True when the watchdog *explained* the run: it recovered, or it
+    /// disconnected with an attributable culprit. Budget exhaustion,
+    /// panics and unattributed disconnections are unclassified.
+    pub fn classified(&self) -> bool {
+        matches!(
+            self,
+            Outcome::Recovered { .. }
+                | Outcome::Disconnected {
+                    attributed: true,
+                    ..
+                }
+        )
+    }
+}
+
+/// Everything one scenario run produced.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The classification.
+    pub outcome: Outcome,
+    /// The fault horizon the run drove to.
+    pub horizon: u64,
+    /// Messages sent across drive + watch.
+    pub messages: u64,
+    /// Messages the injector destroyed.
+    pub dropped_fault: u64,
+    /// Messages a lying-state behavior forged.
+    pub forged_fault: u64,
+}
+
+/// Runs a scenario to a classified [`RunResult`]. Panics anywhere in
+/// the drive or watch are caught and classified as
+/// [`Outcome::Panicked`] — a campaign never aborts on one bad scenario.
+pub fn run_scenario(s: &Scenario) -> RunResult {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_scenario_inner(s)));
+    match caught {
+        Ok(result) => result,
+        Err(payload) => RunResult {
+            outcome: Outcome::Panicked {
+                message: panic_message(payload.as_ref()),
+            },
+            horizon: s.horizon(),
+            messages: 0,
+            dropped_fault: 0,
+            forged_fault: 0,
+        },
+    }
+}
+
+fn run_scenario_inner(s: &Scenario) -> RunResult {
+    let mut net = s.build();
+    net.attach_faults(s.plan.clone());
+    let horizon = s.horizon();
+    let mut result = RunResult {
+        outcome: Outcome::BudgetExhausted { budget: s.budget },
+        horizon,
+        messages: 0,
+        dropped_fault: 0,
+        forged_fault: 0,
+    };
+    // Drive through the fault horizon, watching for disconnection the
+    // same way `watch_recovery` does: a drop, forgery or perturbation
+    // erasure can sever a sole carrier, and once the CC view
+    // disconnects no later round can reconnect it — so detection inside
+    // the injection window is final.
+    while net.round() < horizon {
+        let stats = net.step();
+        result.messages += stats.total_sent();
+        result.dropped_fault += stats.dropped_fault;
+        result.forged_fault += stats.forged_fault;
+        if (stats.dropped_fault > 0 || stats.forged_fault > 0 || stats.erased_fault > 0)
+            && !weakly_connected_view(&net.view(), View::Cc)
+        {
+            result.outcome = Outcome::Disconnected {
+                round: net.round(),
+                attributed: find_culprit(&net).is_some(),
+            };
+            return result;
+        }
+    }
+    // Past the horizon every window is closed and every crash has
+    // restarted: what remains is pure recovery, so the watch measures
+    // MTTR directly.
+    let report = watch_recovery(&mut net, s.budget);
+    result.messages += report.messages;
+    result.dropped_fault += report.dropped_fault;
+    result.forged_fault += report.forged_fault;
+    result.outcome = match report.verdict {
+        Verdict::Recovered { rounds } => Outcome::Recovered { mttr: rounds },
+        Verdict::PermanentlyDisconnected { round, culprit } => Outcome::Disconnected {
+            round,
+            attributed: culprit.is_some(),
+        },
+        Verdict::BudgetExhausted { budget } => Outcome::BudgetExhausted { budget },
+    };
+    result
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Campaign shape: how many scenarios to sample and from what space.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Master seed — generation and every scenario derive from it.
+    pub seed: u64,
+    /// Number of scenarios to sample and run.
+    pub scenarios: usize,
+    /// Smallest network sampled.
+    pub min_n: usize,
+    /// Largest network sampled.
+    pub max_n: usize,
+    /// Per-scenario recovery watch budget.
+    pub budget: u64,
+}
+
+impl CampaignConfig {
+    /// A campaign of `scenarios` runs under `seed` with default bounds.
+    pub fn new(seed: u64, scenarios: usize) -> Self {
+        CampaignConfig {
+            seed,
+            scenarios,
+            min_n: 8,
+            max_n: 40,
+            budget: 5_000,
+        }
+    }
+}
+
+/// Samples one random **valid** scenario: 1–5 fault entries across all
+/// categories, windows bounded to the first ~30 rounds, and per-node
+/// crash windows kept disjoint by construction.
+pub fn sample_scenario(rng: &mut StdRng, cfg: &CampaignConfig) -> Scenario {
+    let n = rng.random_range(cfg.min_n..=cfg.max_n.max(cfg.min_n));
+    let ids = evenly_spaced_ids(n);
+    let start = if rng.random_bool(0.5) {
+        Start::Ring
+    } else {
+        Start::Sparse {
+            extra: rng.random_range(1usize..4),
+        }
+    };
+    let mut plan = FaultPlan::new(rng.next_u64());
+    let entries = rng.random_range(1usize..=5);
+    for _ in 0..entries {
+        match rng.random_range(0u32..6) {
+            0 => plan.drop.push(sample_window(rng)),
+            1 => plan.duplicate.push(sample_window(rng)),
+            2 => {
+                let (start, end) = sample_span(rng);
+                plan.partitions.push(Partition {
+                    start,
+                    end,
+                    cut: ids[rng.random_range(0..n)],
+                });
+            }
+            3 => {
+                let node = ids[rng.random_range(0..n)];
+                let round = rng.random_range(1u64..=16);
+                let down_for = rng.random_range(1u64..=6);
+                // Keep per-node crash windows disjoint — rejected by
+                // `validate` otherwise. Skipping (instead of resampling)
+                // keeps generation total and deterministic.
+                let end = round + down_for;
+                let overlaps = plan
+                    .crashes
+                    .iter()
+                    .any(|c| c.node == node && round < c.round + c.down_for && c.round < end);
+                if !overlaps {
+                    let restart = if rng.random_bool(0.5) {
+                        Restart::Durable {
+                            snapshot_round: rng.random_range(0..=round),
+                        }
+                    } else {
+                        Restart::Amnesia
+                    };
+                    plan.crashes.push(Crash {
+                        round,
+                        node,
+                        down_for,
+                        restart,
+                    });
+                }
+            }
+            4 => plan.perturbations.push(Perturbation {
+                round: rng.random_range(1u64..=16),
+                k: rng.random_range(1usize..=(n / 6).max(1)),
+            }),
+            _ => {
+                let (start, end) = sample_span(rng);
+                let node = ids[rng.random_range(0..n)];
+                let kind = match rng.random_range(0u32..3) {
+                    0 => Misbehavior::SelectiveForward {
+                        kinds: sample_kinds(rng),
+                        p: 0.3 + 0.7 * rng.random::<f64>(),
+                    },
+                    1 => Misbehavior::LyingState {
+                        mode: if rng.random_bool(0.5) {
+                            LieMode::SelfPromote
+                        } else {
+                            LieMode::Scramble
+                        },
+                    },
+                    _ => Misbehavior::SybilCluster {
+                        k: rng.random_range(1usize..=5),
+                        center: ids[rng.random_range(0..n)],
+                    },
+                };
+                plan.behaviors.push(Behavior {
+                    start,
+                    end,
+                    node,
+                    kind,
+                });
+            }
+        }
+    }
+    debug_assert!(plan.validate().is_ok(), "sampler produced invalid plan");
+    Scenario {
+        n,
+        net_seed: rng.next_u64(),
+        start,
+        budget: cfg.budget,
+        plan,
+    }
+}
+
+fn sample_span(rng: &mut StdRng) -> (u64, u64) {
+    let start = rng.random_range(1u64..=16);
+    let len = rng.random_range(1u64..=12);
+    (start, start + len)
+}
+
+fn sample_window(rng: &mut StdRng) -> RateWindow {
+    let (start, end) = sample_span(rng);
+    RateWindow {
+        start,
+        end,
+        p: 0.05 + 0.85 * rng.random::<f64>(),
+    }
+}
+
+fn sample_kinds(rng: &mut StdRng) -> Vec<MessageKind> {
+    let count = rng.random_range(1usize..=3);
+    let mut kinds: Vec<MessageKind> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let k = MessageKind::ALL[rng.random_range(0..MessageKind::ALL.len())];
+        if !kinds.contains(&k) {
+            kinds.push(k);
+        }
+    }
+    kinds
+}
+
+/// A failed scenario with its shrunk minimal reproducer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureCase {
+    /// Position of the scenario in the campaign (for re-derivation).
+    pub index: usize,
+    /// The original failing scenario.
+    pub scenario: Scenario,
+    /// The original failure.
+    pub result: RunResult,
+    /// The shrunk reproducer (still failing, minimal entry list).
+    pub shrunk: Scenario,
+    /// The failure the shrunk reproducer exhibits.
+    pub shrunk_result: RunResult,
+}
+
+/// Aggregate campaign tallies plus every shrunk failure.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Scenarios run.
+    pub total: usize,
+    /// Runs that re-stabilized.
+    pub recovered: usize,
+    /// Runs that disconnected with an attributed culprit.
+    pub disconnected: usize,
+    /// Runs that disconnected without attribution (failures).
+    pub unattributed: usize,
+    /// Runs that exhausted their watch budget (failures).
+    pub budget_exhausted: usize,
+    /// Runs that panicked (failures).
+    pub panicked: usize,
+    /// Every failing scenario, shrunk.
+    pub failures: Vec<FailureCase>,
+}
+
+impl CampaignReport {
+    /// True when every run was classified and nothing failed the
+    /// campaign predicate.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The default failure predicate: panics, budget exhaustion and
+/// unattributed disconnections fail; recovery and attributed
+/// disconnections are valid classifications.
+pub fn default_failure(r: &RunResult) -> bool {
+    !r.outcome.classified()
+}
+
+/// Runs a seeded campaign: samples `cfg.scenarios` scenarios, runs
+/// each, tallies outcomes, and shrinks every run `is_failure` flags
+/// into a minimal reproducer.
+pub fn run_campaign(
+    cfg: &CampaignConfig,
+    is_failure: &dyn Fn(&RunResult) -> bool,
+) -> CampaignReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = CampaignReport::default();
+    for index in 0..cfg.scenarios {
+        let scenario = sample_scenario(&mut rng, cfg);
+        let result = run_scenario(&scenario);
+        report.total += 1;
+        match &result.outcome {
+            Outcome::Recovered { .. } => report.recovered += 1,
+            Outcome::Disconnected {
+                attributed: true, ..
+            } => report.disconnected += 1,
+            Outcome::Disconnected {
+                attributed: false, ..
+            } => report.unattributed += 1,
+            Outcome::BudgetExhausted { .. } => report.budget_exhausted += 1,
+            Outcome::Panicked { .. } => report.panicked += 1,
+        }
+        if is_failure(&result) {
+            let shrunk = shrink(&scenario, &|cand| is_failure(&run_scenario(cand)));
+            let shrunk_result = run_scenario(&shrunk);
+            report.failures.push(FailureCase {
+                index,
+                scenario,
+                result,
+                shrunk,
+                shrunk_result,
+            });
+        }
+    }
+    report
+}
+
+/// One plan entry, the unit of delta debugging.
+#[derive(Clone, Debug, PartialEq)]
+enum Entry {
+    Drop(RateWindow),
+    Duplicate(RateWindow),
+    Partition(Partition),
+    Crash(Crash),
+    Perturbation(Perturbation),
+    Behavior(Behavior),
+}
+
+fn to_entries(plan: &FaultPlan) -> Vec<Entry> {
+    let mut out = Vec::with_capacity(plan.entry_count());
+    out.extend(plan.drop.iter().copied().map(Entry::Drop));
+    out.extend(plan.duplicate.iter().copied().map(Entry::Duplicate));
+    out.extend(plan.partitions.iter().copied().map(Entry::Partition));
+    out.extend(plan.crashes.iter().copied().map(Entry::Crash));
+    out.extend(plan.perturbations.iter().copied().map(Entry::Perturbation));
+    out.extend(plan.behaviors.iter().cloned().map(Entry::Behavior));
+    out
+}
+
+fn from_entries(seed: u64, entries: &[Entry]) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    for e in entries {
+        match e.clone() {
+            Entry::Drop(w) => plan.drop.push(w),
+            Entry::Duplicate(w) => plan.duplicate.push(w),
+            Entry::Partition(p) => plan.partitions.push(p),
+            Entry::Crash(c) => plan.crashes.push(c),
+            Entry::Perturbation(p) => plan.perturbations.push(p),
+            Entry::Behavior(b) => plan.behaviors.push(b),
+        }
+    }
+    plan
+}
+
+fn with_plan(s: &Scenario, plan: FaultPlan) -> Scenario {
+    Scenario { plan, ..s.clone() }
+}
+
+/// Shrinks a failing scenario to a minimal reproducer. `fails` is the
+/// oracle ("does this candidate still fail?"); the input scenario must
+/// fail it. Two phases:
+///
+/// 1. **Delta debugging** over the flattened entry list: chunks of
+///    decreasing size are removed while the failure persists, ending
+///    with a single-entry sweep, so the result is 1-minimal — no single
+///    entry can be removed without losing the failure.
+/// 2. **Parameter shrinking** to a fixpoint: each surviving entry's
+///    windows, downtimes, probabilities-adjacent sizes (victim count,
+///    kind set, sybil size) are halved while the failure persists.
+///
+/// Invalid intermediate candidates (impossible here by construction,
+/// since removal and halving preserve validity) are skipped by
+/// re-validation, defensively.
+pub fn shrink(s: &Scenario, fails: &dyn Fn(&Scenario) -> bool) -> Scenario {
+    let mut best = s.clone();
+    let seed = s.plan.seed;
+    let mut entries = to_entries(&best.plan);
+
+    // Phase 1: ddmin. Try removing complements at increasing
+    // granularity; a successful removal restarts at coarse granularity.
+    let mut chunk = entries.len().div_ceil(2).max(1);
+    while !entries.is_empty() {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < entries.len() {
+            let hi = (i + chunk).min(entries.len());
+            let mut candidate: Vec<Entry> = entries.clone();
+            candidate.drain(i..hi);
+            let cand = with_plan(&best, from_entries(seed, &candidate));
+            if cand.plan.validate().is_ok() && fails(&cand) {
+                entries = candidate;
+                best = cand;
+                removed_any = true;
+                // Same index now holds the next chunk.
+            } else {
+                i = hi;
+            }
+        }
+        if removed_any {
+            chunk = entries.len().div_ceil(2).max(1);
+        } else if chunk > 1 {
+            chunk = chunk.div_ceil(2).max(1).min(chunk - 1);
+        } else {
+            break;
+        }
+    }
+
+    // Phase 2: per-entry parameter shrinking to a fixpoint.
+    loop {
+        let entries = to_entries(&best.plan);
+        let mut improved = false;
+        'outer: for (i, e) in entries.iter().enumerate() {
+            for smaller in shrink_entry(e) {
+                let mut candidate = entries.clone();
+                candidate[i] = smaller;
+                let cand = with_plan(&best, from_entries(seed, &candidate));
+                if cand.plan.validate().is_ok() && fails(&cand) {
+                    best = cand;
+                    improved = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Candidate strictly-smaller versions of one entry, most aggressive
+/// first. Repeated application (the phase-2 fixpoint loop) walks each
+/// parameter down by halving.
+fn shrink_entry(e: &Entry) -> Vec<Entry> {
+    let mut out = Vec::new();
+    let halve_span = |start: u64, end: u64| -> Option<u64> {
+        let len = end.saturating_sub(start);
+        (len >= 2).then(|| start + len / 2)
+    };
+    match e {
+        Entry::Drop(w) => {
+            if let Some(end) = halve_span(w.start, w.end) {
+                out.push(Entry::Drop(RateWindow { end, ..*w }));
+            }
+        }
+        Entry::Duplicate(w) => {
+            if let Some(end) = halve_span(w.start, w.end) {
+                out.push(Entry::Duplicate(RateWindow { end, ..*w }));
+            }
+        }
+        Entry::Partition(p) => {
+            if let Some(end) = halve_span(p.start, p.end) {
+                out.push(Entry::Partition(Partition { end, ..*p }));
+            }
+        }
+        Entry::Crash(c) => {
+            if c.down_for >= 2 {
+                out.push(Entry::Crash(Crash {
+                    down_for: c.down_for / 2,
+                    ..*c
+                }));
+            }
+            if matches!(c.restart, Restart::Durable { .. }) {
+                out.push(Entry::Crash(Crash {
+                    restart: Restart::Amnesia,
+                    ..*c
+                }));
+            }
+        }
+        Entry::Perturbation(p) => {
+            if p.k >= 2 {
+                out.push(Entry::Perturbation(Perturbation { k: p.k / 2, ..*p }));
+            }
+        }
+        Entry::Behavior(b) => {
+            if let Some(end) = halve_span(b.start, b.end) {
+                out.push(Entry::Behavior(Behavior { end, ..b.clone() }));
+            }
+            match &b.kind {
+                Misbehavior::SelectiveForward { kinds, p } if kinds.len() >= 2 => {
+                    out.push(Entry::Behavior(Behavior {
+                        kind: Misbehavior::SelectiveForward {
+                            kinds: kinds[..kinds.len() / 2].to_vec(),
+                            p: *p,
+                        },
+                        ..b.clone()
+                    }));
+                }
+                Misbehavior::SybilCluster { k, center } if *k >= 2 => {
+                    out.push(Entry::Behavior(Behavior {
+                        kind: Misbehavior::SybilCluster {
+                            k: k / 2,
+                            center: *center,
+                        },
+                        ..b.clone()
+                    }));
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swn_core::id::NodeId;
+
+    fn fid(f: f64) -> NodeId {
+        NodeId::from_fraction(f)
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = CampaignConfig::new(3, 1);
+        let s = sample_scenario(&mut rng, &cfg);
+        let back = Scenario::from_json(&s.to_json()).expect("round trip");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn scenario_parser_rejects_garbage() {
+        assert!(Scenario::from_json("not json").is_err());
+        assert!(Scenario::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn sampled_scenarios_are_valid_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = CampaignConfig::new(9, 1);
+        for _ in 0..200 {
+            let s = sample_scenario(&mut rng, &cfg);
+            assert!(s.plan.validate().is_ok());
+            assert!(s.plan.entry_count() >= 1 || s.plan.is_empty());
+            assert!(s.horizon() <= 40, "windows must stay bounded");
+            assert!(s.n >= cfg.min_n && s.n <= cfg.max_n);
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let cfg = CampaignConfig::new(17, 1);
+        let s = sample_scenario(&mut rng, &cfg);
+        let replayed = Scenario::from_json(&s.to_json()).expect("parse");
+        assert_eq!(run_scenario(&s), run_scenario(&replayed));
+    }
+
+    #[test]
+    fn small_seeded_campaign_is_fully_classified() {
+        let cfg = CampaignConfig {
+            seed: 1,
+            scenarios: 30,
+            min_n: 8,
+            max_n: 24,
+            budget: 5_000,
+        };
+        let report = run_campaign(&cfg, &default_failure);
+        assert_eq!(report.total, 30);
+        assert!(
+            report.clean(),
+            "campaign failures: {:?}",
+            report
+                .failures
+                .iter()
+                .map(|f| (&f.result.outcome, f.scenario.to_json()))
+                .collect::<Vec<_>>()
+        );
+        assert!(report.recovered > 0, "most scenarios must recover");
+    }
+
+    #[test]
+    fn shrinker_reduces_to_the_single_relevant_entry() {
+        // Synthetic oracle: the "failure" is simply the presence of a
+        // crash of this node — every other entry is noise the shrinker
+        // must strip, and the crash's own parameters must be walked to
+        // their minimum.
+        let victim = fid(0.25);
+        let scenario = Scenario {
+            n: 12,
+            net_seed: 5,
+            start: Start::Ring,
+            budget: 100,
+            plan: FaultPlan::new(2)
+                .with_drop(1, 9, 0.5)
+                .with_duplicate(2, 10, 0.4)
+                .with_partition(3, 8, fid(0.5))
+                .with_perturbation(4, 3)
+                .with_durable_crash(5, victim, 6, 4)
+                .with_behavior(
+                    2,
+                    9,
+                    fid(0.75),
+                    Misbehavior::LyingState {
+                        mode: LieMode::Scramble,
+                    },
+                ),
+        };
+        let fails = |c: &Scenario| c.plan.crashes.iter().any(|cr| cr.node == victim);
+        assert!(fails(&scenario));
+        let shrunk = shrink(&scenario, &fails);
+        assert_eq!(shrunk.plan.entry_count(), 1, "noise must be stripped");
+        let c = &shrunk.plan.crashes[0];
+        assert_eq!(c.node, victim);
+        assert_eq!(c.down_for, 1, "downtime must be walked to its minimum");
+        assert_eq!(
+            c.restart,
+            Restart::Amnesia,
+            "durable restart must simplify away"
+        );
+    }
+
+    #[test]
+    fn planted_drop_lin_mutant_is_caught_and_shrunk() {
+        // The planted protocol mutant: a node that silently refuses to
+        // forward Lin. Linearization forwards without storing, so on an
+        // unstable start the refusals destroy sole carriers and the
+        // network disconnects instead of converging. The mutant hides
+        // among benign noise entries; the campaign oracle here is the
+        // strictest one — "the protocol must always recover" — and the
+        // shrinker must strip the noise and hand back (at most 3
+        // entries of) the mutant itself, replayable from JSON.
+        let ids = evenly_spaced_ids(16);
+        let scenario = Scenario {
+            n: 16,
+            net_seed: 5,
+            start: Start::Sparse { extra: 2 },
+            budget: 2_000,
+            plan: FaultPlan::new(5)
+                .with_drop(2, 6, 0.2)
+                .with_duplicate(3, 8, 0.3)
+                .with_perturbation(4, 2)
+                .with_behavior(
+                    1,
+                    60,
+                    ids[12],
+                    Misbehavior::SelectiveForward {
+                        kinds: vec![MessageKind::Lin],
+                        p: 1.0,
+                    },
+                ),
+        };
+        let strict = |r: &RunResult| !matches!(r.outcome, Outcome::Recovered { .. });
+        let result = run_scenario(&scenario);
+        assert!(
+            strict(&result),
+            "the mutant must prevent recovery: {:?}",
+            result.outcome
+        );
+        let shrunk = shrink(&scenario, &|c| strict(&run_scenario(c)));
+        assert!(
+            shrunk.plan.entry_count() <= 3,
+            "reproducer must have ≤3 entries: {}",
+            shrunk.to_json()
+        );
+        assert!(
+            shrunk.plan.behaviors.iter().any(
+                |b| matches!(&b.kind, Misbehavior::SelectiveForward { kinds, .. }
+                    if kinds.contains(&MessageKind::Lin))
+            ),
+            "the mutant itself must survive shrinking"
+        );
+        // The reproducer replays deterministically from its JSON form.
+        let json = shrunk.to_json();
+        let replayed = Scenario::from_json(&json).expect("parse");
+        assert_eq!(replayed, shrunk);
+        let a = run_scenario(&replayed);
+        let b = run_scenario(&shrunk);
+        assert_eq!(a, b, "replay must be bit-deterministic");
+        assert!(strict(&a), "the reproducer must still fail");
+    }
+}

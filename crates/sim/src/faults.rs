@@ -34,12 +34,13 @@ use crate::obs::causal::CascadeReport;
 use crate::obs::Event;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom as _;
-use rand::{RngExt as _, SeedableRng};
+use rand::{Rng, RngExt as _, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use swn_core::id::NodeId;
+use swn_core::id::{Extended, NodeId};
 use swn_core::invariants::{component_labels_view, is_sorted_ring_view, weakly_connected_view};
-use swn_core::message::Message;
+use swn_core::message::{Message, MessageKind};
+use swn_core::node::Node;
 use swn_core::views::View;
 
 /// Cap on the retained drop log. Old entries are evicted from the
@@ -92,11 +93,33 @@ impl Partition {
     }
 }
 
+/// How a crashed node rejoins when its downtime ends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Restart {
+    /// The node comes back with blank joining state; its former
+    /// neighbours' stored pointers are what reintegrate it.
+    #[default]
+    Amnesia,
+    /// The node restores the state it had at the start of round
+    /// `snapshot_round` (captured by the injector before the crash
+    /// lands, like a periodic checkpoint written to disk). The restored
+    /// view is stale — pointers may reference since-departed or moved
+    /// neighbours — but it is a *valid* protocol state, so recovery is
+    /// bounded by re-validation instead of a full rejoin.
+    Durable {
+        /// The round whose start-of-round state is restored. Must be
+        /// `≤` the crash round; when no capture exists (e.g. the node
+        /// was already down at `snapshot_round`) the restart degrades
+        /// to amnesia.
+        snapshot_round: u64,
+    },
+}
+
 /// A node crash with restart: at `round` the node loses its volatile
-/// state (reset to the blank joining state) and its channel content,
-/// then sits out `down_for` rounds — messages addressed to it while
-/// down are lost. It restarts with blank state; its former neighbours'
-/// stored pointers to it are what reintegrate it.
+/// state and its channel content, then sits out `down_for` rounds —
+/// messages addressed to it while down are lost. How it comes back is
+/// governed by [`Restart`]: blank ([`Restart::Amnesia`]) or from its
+/// last checkpoint ([`Restart::Durable`]).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Crash {
     /// The round the crash lands in.
@@ -105,6 +128,8 @@ pub struct Crash {
     pub node: NodeId,
     /// Rounds the node stays down (min 1).
     pub down_for: u64,
+    /// How the node rejoins after its downtime.
+    pub restart: Restart,
 }
 
 /// A random corruption of `k` live nodes' neighbour state at `round`:
@@ -120,6 +145,101 @@ pub struct Perturbation {
     pub round: u64,
     /// Number of victims (clamped to the live population).
     pub k: usize,
+}
+
+/// How a [`Misbehavior::LyingState`] node perturbs the neighbour
+/// identifiers it advertises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LieMode {
+    /// Every advertised identifier is replaced by the liar's own id —
+    /// the node claims to be everyone's best neighbour.
+    SelfPromote,
+    /// Every advertised identifier is replaced by a uniformly random
+    /// *live* identifier (drawn from the injector's per-round pool), so
+    /// payloads stay within the knowledge closure but point nowhere
+    /// useful.
+    Scramble,
+}
+
+/// A windowed per-node adversarial behavior. Unlike the benign faults
+/// above (which lose or corrupt state obliviously), a behavior makes a
+/// specific node *misbehave* while still participating in the protocol.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Misbehavior {
+    /// Silently refuses to emit or forward messages of the given kinds
+    /// with probability `p` per send. A dropped-forwarding node: its
+    /// handler runs normally, but chosen output kinds never leave.
+    SelectiveForward {
+        /// The message kinds refused (must be non-empty).
+        kinds: Vec<MessageKind>,
+        /// Per-send refusal probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Advertises perturbed list/ring neighbours in outgoing payloads:
+    /// every identifier the node sends is forged per [`LieMode`]. The
+    /// true payload is recorded in the drop log (the liar effectively
+    /// destroyed it), so sole-carrier disconnections stay attributable.
+    LyingState {
+        /// How the advertised identifiers are perturbed.
+        mode: LieMode,
+    },
+    /// At the window start, `k` sybil joiners with identifiers crammed
+    /// into an ε-interval right of `center` join through the behaving
+    /// node as contact — an id-clustering attack on the emergent
+    /// topology. The sybils then run the honest protocol; the attack is
+    /// the id placement, not the behaviour.
+    SybilCluster {
+        /// Number of joiners (min 1).
+        k: usize,
+        /// Left end of the ε-interval the sybil ids are packed into.
+        center: NodeId,
+    },
+}
+
+impl Misbehavior {
+    /// Stable label for events and per-class reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Misbehavior::SelectiveForward { .. } => "selective_forward",
+            Misbehavior::LyingState { .. } => "lying_state",
+            Misbehavior::SybilCluster { .. } => "sybil_cluster",
+        }
+    }
+}
+
+/// A [`Misbehavior`] bound to a node over a half-open round window.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Behavior {
+    /// First round (inclusive) the behavior is in force.
+    pub start: u64,
+    /// First round (exclusive) the behavior is over.
+    pub end: u64,
+    /// The misbehaving node (for [`Misbehavior::SybilCluster`], the
+    /// contact the sybils join through).
+    pub node: NodeId,
+    /// What the node does.
+    pub kind: Misbehavior,
+}
+
+impl Behavior {
+    /// True while the behavior window covers `round`.
+    pub fn active(&self, round: u64) -> bool {
+        round >= self.start && round < self.end
+    }
+}
+
+/// The deterministic sybil identifier cluster for a
+/// [`Misbehavior::SybilCluster`]: `k` ids packed one ulp apart
+/// immediately right of `center` (wrapping at the id-space top). No RNG
+/// is involved — the cluster is a function of the plan alone.
+pub fn sybil_ids(center: NodeId, k: usize) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(k);
+    let mut bits = center.bits();
+    for _ in 0..k {
+        bits = bits.wrapping_add(1);
+        out.push(NodeId::from_bits(bits));
+    }
+    out
 }
 
 /// A deterministic, serializable schedule of faults. Attach to a
@@ -142,6 +262,8 @@ pub struct FaultPlan {
     pub crashes: Vec<Crash>,
     /// Random neighbour-state perturbations.
     pub perturbations: Vec<Perturbation>,
+    /// Windowed per-node adversarial behaviors.
+    pub behaviors: Vec<Behavior>,
 }
 
 impl FaultPlan {
@@ -176,13 +298,34 @@ impl FaultPlan {
         self
     }
 
-    /// Adds a crash of `node` at `round`, down for `down_for` rounds.
+    /// Adds an amnesiac crash of `node` at `round`, down for `down_for`
+    /// rounds.
     #[must_use]
     pub fn with_crash(mut self, round: u64, node: NodeId, down_for: u64) -> Self {
         self.crashes.push(Crash {
             round,
             node,
             down_for,
+            restart: Restart::Amnesia,
+        });
+        self
+    }
+
+    /// Adds a durable crash of `node` at `round` restoring the state it
+    /// had at the start of `snapshot_round` (must be `≤ round`).
+    #[must_use]
+    pub fn with_durable_crash(
+        mut self,
+        round: u64,
+        node: NodeId,
+        down_for: u64,
+        snapshot_round: u64,
+    ) -> Self {
+        self.crashes.push(Crash {
+            round,
+            node,
+            down_for,
+            restart: Restart::Durable { snapshot_round },
         });
         self
     }
@@ -194,6 +337,29 @@ impl FaultPlan {
         self
     }
 
+    /// Adds an adversarial behavior of `node` over rounds `start..end`.
+    #[must_use]
+    pub fn with_behavior(mut self, start: u64, end: u64, node: NodeId, kind: Misbehavior) -> Self {
+        self.behaviors.push(Behavior {
+            start,
+            end,
+            node,
+            kind,
+        });
+        self
+    }
+
+    /// Total number of scheduled fault entries across all categories —
+    /// the unit the chaos shrinker minimizes over.
+    pub fn entry_count(&self) -> usize {
+        self.drop.len()
+            + self.duplicate.len()
+            + self.partitions.len()
+            + self.crashes.len()
+            + self.perturbations.len()
+            + self.behaviors.len()
+    }
+
     /// True when the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
         self.drop.is_empty()
@@ -201,10 +367,13 @@ impl FaultPlan {
             && self.partitions.is_empty()
             && self.crashes.is_empty()
             && self.perturbations.is_empty()
+            && self.behaviors.is_empty()
     }
 
     /// Checks structural validity: probabilities in `[0, 1]`, windows
-    /// non-inverted, crash downtimes and perturbation sizes non-zero.
+    /// non-inverted, crash downtimes and perturbation sizes non-zero,
+    /// per-node crash windows non-overlapping, durable snapshots taken
+    /// no later than their crash, and behavior parameters in range.
     pub fn validate(&self) -> Result<(), String> {
         for w in self.drop.iter().chain(&self.duplicate) {
             if !(0.0..=1.0).contains(&w.p) {
@@ -219,14 +388,61 @@ impl FaultPlan {
                 return Err(format!("inverted partition {}..{}", p.start, p.end));
             }
         }
-        for c in &self.crashes {
+        for (i, c) in self.crashes.iter().enumerate() {
             if c.down_for == 0 {
                 return Err("crash with zero downtime".to_string());
+            }
+            if let Restart::Durable { snapshot_round } = c.restart {
+                if snapshot_round > c.round {
+                    return Err(format!(
+                        "durable crash of {:?} snapshots at round {snapshot_round}, \
+                         after its crash round {}",
+                        c.node, c.round
+                    ));
+                }
+            }
+            // A node can crash repeatedly, but two downtime windows for
+            // the same node must not overlap: the second crash would
+            // land on an already-down node and the restart bookkeeping
+            // (one restart round per node) could not represent both.
+            for other in &self.crashes[i + 1..] {
+                if other.node != c.node {
+                    continue;
+                }
+                let c_end = c.round.saturating_add(c.down_for);
+                let o_end = other.round.saturating_add(other.down_for);
+                if c.round < o_end && other.round < c_end {
+                    return Err(format!(
+                        "overlapping crash windows for {:?}: {}..{c_end} and {}..{o_end}",
+                        c.node, c.round, other.round
+                    ));
+                }
             }
         }
         for p in &self.perturbations {
             if p.k == 0 {
                 return Err("perturbation of zero nodes".to_string());
+            }
+        }
+        for b in &self.behaviors {
+            if b.end < b.start {
+                return Err(format!("inverted behavior window {}..{}", b.start, b.end));
+            }
+            match &b.kind {
+                Misbehavior::SelectiveForward { kinds, p } => {
+                    if !(0.0..=1.0).contains(p) {
+                        return Err(format!("behavior probability {p} outside [0, 1]"));
+                    }
+                    if kinds.is_empty() {
+                        return Err("selective-forward behavior with no kinds".to_string());
+                    }
+                }
+                Misbehavior::LyingState { .. } => {}
+                Misbehavior::SybilCluster { k, .. } => {
+                    if *k == 0 {
+                        return Err("sybil cluster of zero joiners".to_string());
+                    }
+                }
             }
         }
         Ok(())
@@ -260,16 +476,81 @@ pub(crate) enum Fate {
     Duplicate,
 }
 
+/// The injector's RNG with an exact draw counter. Every sampling path
+/// in the vendored `rand` (ints, floats, bools, ranges, shuffles)
+/// funnels through `next_u64`, so the count of calls *is* the stream
+/// cursor: re-seeding and advancing `draws` words reproduces the state
+/// bit-for-bit. That makes the injector checkpointable (persist v2)
+/// without serializing generator internals.
+#[derive(Clone, Debug)]
+struct CountedRng {
+    inner: StdRng,
+    draws: u64,
+}
+
+impl CountedRng {
+    fn seeded(seed: u64) -> Self {
+        CountedRng {
+            inner: StdRng::seed_from_u64(seed),
+            draws: 0,
+        }
+    }
+
+    /// Re-seeds and fast-forwards to a persisted cursor. Linear in the
+    /// cursor — fine for checkpointed runs, whose draw counts are
+    /// bounded by sends inside fault windows.
+    fn at_cursor(seed: u64, draws: u64) -> Self {
+        let mut inner = StdRng::seed_from_u64(seed);
+        for _ in 0..draws {
+            inner.next_u64();
+        }
+        CountedRng { inner, draws }
+    }
+}
+
+impl Rng for CountedRng {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+}
+
+/// The serializable checkpoint of a [`FaultInjector`]: everything a
+/// durable restore needs to continue the faulted computation exactly —
+/// the plan, the RNG cursor (draw count), the down map, the drop log
+/// and any captured durable-crash node states. The per-round lying
+/// pool is *not* captured: it is recomputed at every round start, and
+/// checkpoints are taken between rounds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InjectorState {
+    /// The plan being executed.
+    pub plan: FaultPlan,
+    /// Number of `next_u64` words the injector has consumed.
+    pub rng_draws: u64,
+    /// Crashed nodes → the round they restart at.
+    pub down: Vec<(NodeId, u64)>,
+    /// The retained drop log.
+    pub drop_log: Vec<DropRecord>,
+    /// Captured pre-crash states for pending durable restarts.
+    pub saved: Vec<(NodeId, Node)>,
+}
+
 /// Live fault-injection state owned by a faulted network: the plan, the
-/// injector's private RNG, the set of currently-down nodes and the
-/// recent drop log.
+/// injector's private RNG, the set of currently-down nodes, the recent
+/// drop log, captured durable-crash states and the per-round pool of
+/// live ids that [`LieMode::Scramble`] forgeries draw from.
 #[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    rng: StdRng,
+    rng: CountedRng,
     /// Crashed nodes → the round they restart at.
     down: BTreeMap<NodeId, u64>,
     drop_log: Vec<DropRecord>,
+    /// Pre-crash states captured for durable restarts.
+    saved: BTreeMap<NodeId, Node>,
+    /// Live ids scramble-lies draw replacements from; refreshed by the
+    /// round loop whenever a scramble window is active.
+    lie_pool: Vec<NodeId>,
 }
 
 impl FaultInjector {
@@ -278,14 +559,55 @@ impl FaultInjector {
     /// # Panics
     /// Panics when [`FaultPlan::validate`] rejects the plan.
     pub fn new(plan: FaultPlan) -> Self {
-        plan.validate().expect("invalid fault plan");
-        let rng = StdRng::seed_from_u64(plan.seed);
-        FaultInjector {
+        // Documented panic on invalid plans; fallible callers use
+        // `try_new`.
+        // lint: allow(unwrap-in-lib)
+        Self::try_new(plan).expect("invalid fault plan")
+    }
+
+    /// Builds an injector for `plan`, rejecting invalid plans as an
+    /// error instead of panicking.
+    pub fn try_new(plan: FaultPlan) -> Result<Self, String> {
+        plan.validate()?;
+        let rng = CountedRng::seeded(plan.seed);
+        Ok(FaultInjector {
             plan,
             rng,
             down: BTreeMap::new(),
             drop_log: Vec::new(),
+            saved: BTreeMap::new(),
+            lie_pool: Vec::new(),
+        })
+    }
+
+    /// Captures the injector's complete serializable state.
+    pub fn state(&self) -> InjectorState {
+        InjectorState {
+            plan: self.plan.clone(),
+            rng_draws: self.rng.draws,
+            down: self.down.iter().map(|(&id, &until)| (id, until)).collect(),
+            drop_log: self.drop_log.clone(),
+            saved: self
+                .saved
+                .iter()
+                .map(|(&id, node)| (id, node.clone()))
+                .collect(),
         }
+    }
+
+    /// Rebuilds an injector from a checkpoint, re-seeding the RNG and
+    /// fast-forwarding it to the persisted cursor.
+    pub fn from_state(state: InjectorState) -> Result<Self, String> {
+        state.plan.validate()?;
+        let rng = CountedRng::at_cursor(state.plan.seed, state.rng_draws);
+        Ok(FaultInjector {
+            plan: state.plan,
+            rng,
+            down: state.down.into_iter().collect(),
+            drop_log: state.drop_log,
+            saved: state.saved.into_iter().collect(),
+            lie_pool: Vec::new(),
+        })
     }
 
     /// The plan this injector executes.
@@ -382,6 +704,19 @@ impl FaultInjector {
                 ));
             }
         }
+        for b in &self.plan.behaviors {
+            // Sybil clusters are one-shot joins, announced by the round
+            // loop itself with the actual join count.
+            if b.start == round && !matches!(b.kind, Misbehavior::SybilCluster { .. }) {
+                out.push((
+                    b.kind.label(),
+                    format!(
+                        "{:?} misbehaves ({:?}) over rounds {}..{}",
+                        b.node, b.kind, b.start, b.end
+                    ),
+                ));
+            }
+        }
         out
     }
 
@@ -393,6 +728,127 @@ impl FaultInjector {
             .filter(|p| p.round == round)
             .copied()
             .collect()
+    }
+
+    /// Nodes whose durable crash wants a state capture at the start of
+    /// `round` (i.e. `snapshot_round == round`).
+    pub(crate) fn snapshots_due_at(&self, round: u64) -> Vec<NodeId> {
+        self.plan
+            .crashes
+            .iter()
+            .filter_map(|c| match c.restart {
+                Restart::Durable { snapshot_round } if snapshot_round == round => Some(c.node),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Stores a captured pre-crash node state for a durable restart.
+    pub(crate) fn save_node(&mut self, state: Node) {
+        self.saved.insert(state.id(), state);
+    }
+
+    /// Removes and returns the captured state for `node`, if any.
+    pub(crate) fn take_saved(&mut self, node: NodeId) -> Option<Node> {
+        self.saved.remove(&node)
+    }
+
+    /// The captured pre-crash state for `node`, if any (test/diagnostic
+    /// visibility into pending durable restores).
+    pub fn saved_state(&self, node: NodeId) -> Option<&Node> {
+        self.saved.get(&node)
+    }
+
+    /// Sybil clusters whose window opens at `round`, as
+    /// `(contact, center, k)` triples.
+    pub(crate) fn sybils_at(&self, round: u64) -> Vec<(NodeId, NodeId, usize)> {
+        self.plan
+            .behaviors
+            .iter()
+            .filter_map(|b| match b.kind {
+                Misbehavior::SybilCluster { k, center } if b.start == round => {
+                    Some((b.node, center, k))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Nodes with a selective-forward or lying-state window covering
+    /// `round`. The round loop wakes (and unsettles) these under the
+    /// active-set scheduler every round the window is active: a settled
+    /// node skips its regular action, so a misbehaving node on a
+    /// quiescent ring would otherwise never send — and never misbehave
+    /// — diverging from the full-scan semantics where every node acts
+    /// each round. Sybil contacts are excluded: the cluster join wakes
+    /// them through normal mail delivery.
+    pub(crate) fn behavior_nodes_active_at(&self, round: u64) -> Vec<NodeId> {
+        self.plan
+            .behaviors
+            .iter()
+            .filter(|b| b.active(round) && !matches!(b.kind, Misbehavior::SybilCluster { .. }))
+            .map(|b| b.node)
+            .collect()
+    }
+
+    /// True when a scramble-lying window is active at `round`, so the
+    /// round loop knows to refresh the lie pool.
+    pub(crate) fn needs_lie_pool(&self, round: u64) -> bool {
+        self.plan.behaviors.iter().any(|b| {
+            b.active(round)
+                && matches!(
+                    b.kind,
+                    Misbehavior::LyingState {
+                        mode: LieMode::Scramble
+                    }
+                )
+        })
+    }
+
+    /// Replaces the pool of live ids scramble forgeries draw from.
+    pub(crate) fn set_lie_pool(&mut self, pool: Vec<NodeId>) {
+        self.lie_pool = pool;
+    }
+
+    /// Applies any active lying-state behavior of `src` to an outgoing
+    /// message: carried identifiers are forged per the behavior's
+    /// [`LieMode`]. When the payload actually changes, the *original*
+    /// message is recorded in the drop log — the liar destroyed the
+    /// true payload and substituted a forgery, and that record is what
+    /// keeps a sole-carrier disconnection attributable. Injector RNG is
+    /// consumed only by scramble forgeries inside an active window.
+    pub(crate) fn rewrite(
+        &mut self,
+        round: u64,
+        src: NodeId,
+        dest: NodeId,
+        msg: Message,
+    ) -> Message {
+        if self.plan.behaviors.is_empty() {
+            return msg;
+        }
+        let mode = self.plan.behaviors.iter().find_map(|b| match b.kind {
+            Misbehavior::LyingState { mode } if b.node == src && b.active(round) => Some(mode),
+            _ => None,
+        });
+        let Some(mode) = mode else {
+            return msg;
+        };
+        let forged = match mode {
+            LieMode::SelfPromote => forge(msg, &mut |_| src),
+            LieMode::Scramble => {
+                if self.lie_pool.is_empty() {
+                    return msg;
+                }
+                let pool = &self.lie_pool;
+                let rng = &mut self.rng;
+                forge(msg, &mut |_| pool[rng.random_range(0..pool.len())])
+            }
+        };
+        if forged != msg {
+            self.note_drop(round, src, dest, msg);
+        }
+        forged
     }
 
     /// Draws `k` distinct victims from `pool` (injector RNG).
@@ -412,9 +868,10 @@ impl FaultInjector {
     }
 
     /// Decides the fate of one send. Fixed decision order (down
-    /// destination, partition, loss rate, duplication rate); injector
-    /// RNG is consumed **only** when a rate window is active, so rounds
-    /// outside every window replay the fault-free computation exactly.
+    /// destination, partition, selective-forward refusal, loss rate,
+    /// duplication rate); injector RNG is consumed **only** when a rate
+    /// or behavior window is active, so rounds outside every window
+    /// replay the fault-free computation exactly.
     pub(crate) fn fate(&mut self, round: u64, src: NodeId, dest: NodeId, msg: Message) -> Fate {
         if self.is_down(dest) || self.is_down(src) {
             self.note_drop(round, src, dest, msg);
@@ -428,6 +885,22 @@ impl FaultInjector {
         {
             self.note_drop(round, src, dest, msg);
             return Fate::Drop;
+        }
+        if !self.plan.behaviors.is_empty() {
+            let refuse_p = self.plan.behaviors.iter().find_map(|b| match &b.kind {
+                Misbehavior::SelectiveForward { kinds, p }
+                    if b.node == src && b.active(round) && kinds.contains(&msg.kind()) =>
+                {
+                    Some(*p)
+                }
+                _ => None,
+            });
+            if let Some(p) = refuse_p {
+                if self.rng.random_bool(p) {
+                    self.note_drop(round, src, dest, msg);
+                    return Fate::Drop;
+                }
+            }
         }
         let drop_p = self.plan.drop.iter().find(|w| w.active(round)).map(|w| w.p);
         if let Some(p) = drop_p {
@@ -448,6 +921,28 @@ impl FaultInjector {
             }
         }
         Fate::Deliver
+    }
+}
+
+/// Rewrites every identifier a message carries through `pick`
+/// (infinities are structural, not knowledge, and pass through).
+fn forge(msg: Message, pick: &mut dyn FnMut(NodeId) -> NodeId) -> Message {
+    let mut fx = |e: Extended| match e {
+        Extended::Fin(x) => Extended::Fin(pick(x)),
+        other => other,
+    };
+    match msg {
+        Message::Lin(x) => Message::Lin(pick(x)),
+        Message::IncLrl(x) => Message::IncLrl(pick(x)),
+        Message::ResLrl(l, r) => {
+            let l = fx(l);
+            let r = fx(r);
+            Message::ResLrl(l, r)
+        }
+        Message::Ring(x) => Message::Ring(pick(x)),
+        Message::ResRing(x) => Message::ResRing(pick(x)),
+        Message::ProbR(x) => Message::ProbR(pick(x)),
+        Message::ProbL(x) => Message::ProbL(pick(x)),
     }
 }
 
@@ -509,6 +1004,9 @@ pub struct WatchReport {
     pub messages: u64,
     /// Messages the injector destroyed during the watch.
     pub dropped_fault: u64,
+    /// Messages whose payload a lying-state behavior forged during the
+    /// watch (the true payload was destroyed).
+    pub forged_fault: u64,
     /// The round budget the watch ran under.
     pub budget: u64,
     /// Shape of the repair cascade observed during the watch: depth
@@ -543,6 +1041,7 @@ pub fn watch_recovery(net: &mut Network, budget: u64) -> WatchReport {
         verdict: Verdict::BudgetExhausted { budget },
         messages: 0,
         dropped_fault: 0,
+        forged_fault: 0,
         budget,
         cascade: None,
     };
@@ -554,6 +1053,7 @@ pub fn watch_recovery(net: &mut Network, budget: u64) -> WatchReport {
             let stats = net.step();
             report.messages += stats.total_sent();
             report.dropped_fault += stats.dropped_fault;
+            report.forged_fault += stats.forged_fault;
             if stats.links_changed {
                 sorted = is_sorted_ring_view(&net.view());
             }
@@ -561,7 +1061,14 @@ pub fn watch_recovery(net: &mut Network, budget: u64) -> WatchReport {
                 report.verdict = Verdict::Recovered { rounds: k };
                 break;
             }
-            if stats.dropped_fault > 0 && !weakly_connected_view(&net.view(), View::Cc) {
+            // A forgery destroys its true payload just like a drop does
+            // (the delivered message carries the lie, not the original),
+            // so forged rounds are disconnection candidates too — as are
+            // perturbation rounds, whose erased pointers can have been
+            // the only edges into a component.
+            if (stats.dropped_fault > 0 || stats.forged_fault > 0 || stats.erased_fault > 0)
+                && !weakly_connected_view(&net.view(), View::Cc)
+            {
                 report.verdict = Verdict::PermanentlyDisconnected {
                     round: net.round(),
                     culprit: find_culprit(net),
@@ -606,7 +1113,7 @@ pub fn watch_recovery(net: &mut Network, budget: u64) -> WatchReport {
 /// Scans the injector's drop log (most recent first) for a destroyed
 /// message whose payload now sits in a different weak component of the
 /// CC view than its sender — the signature of a sole-carrier drop.
-fn find_culprit(net: &Network) -> Option<DropRecord> {
+pub(crate) fn find_culprit(net: &Network) -> Option<DropRecord> {
     let inj = net.fault_injector()?;
     let v = net.view();
     let labels = component_labels_view(&v, View::Cc);
@@ -860,5 +1367,363 @@ mod tests {
             p: 0.0,
         };
         assert!(!w.active(50), "p = 0 must behave as no window at all");
+    }
+
+    #[test]
+    fn plan_validation_rejects_overlapping_crash_windows() {
+        // Overlap: [5, 9) and [7, 10) down this same node twice at once.
+        assert!(FaultPlan::new(0)
+            .with_crash(5, fid(0.3), 4)
+            .with_crash(7, fid(0.3), 3)
+            .validate()
+            .is_err());
+        // Touching windows do not overlap: [5, 9) then [9, 12).
+        assert!(FaultPlan::new(0)
+            .with_crash(5, fid(0.3), 4)
+            .with_crash(9, fid(0.3), 3)
+            .validate()
+            .is_ok());
+        // The same window on different nodes is fine.
+        assert!(FaultPlan::new(0)
+            .with_crash(5, fid(0.3), 4)
+            .with_crash(5, fid(0.7), 4)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_behaviors() {
+        let lin = vec![MessageKind::Lin];
+        assert!(FaultPlan::new(0)
+            .with_behavior(
+                1,
+                5,
+                fid(0.5),
+                Misbehavior::SelectiveForward {
+                    kinds: lin.clone(),
+                    p: 1.5,
+                },
+            )
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .with_behavior(
+                1,
+                5,
+                fid(0.5),
+                Misbehavior::SelectiveForward {
+                    kinds: Vec::new(),
+                    p: 0.5,
+                },
+            )
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .with_behavior(
+                5,
+                1,
+                fid(0.5),
+                Misbehavior::LyingState {
+                    mode: LieMode::SelfPromote,
+                },
+            )
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .with_behavior(
+                1,
+                5,
+                fid(0.5),
+                Misbehavior::SybilCluster {
+                    k: 0,
+                    center: fid(0.5),
+                },
+            )
+            .validate()
+            .is_err());
+        // A durable crash must snapshot no later than it crashes.
+        assert!(FaultPlan::new(0)
+            .with_durable_crash(5, fid(0.5), 2, 7)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .with_behavior(
+                1,
+                5,
+                fid(0.5),
+                Misbehavior::SelectiveForward { kinds: lin, p: 0.5 },
+            )
+            .with_durable_crash(5, fid(0.5), 2, 5)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn adversarial_plan_round_trips_through_json() {
+        let plan = FaultPlan::new(13)
+            .with_durable_crash(6, fid(0.7), 2, 4)
+            .with_behavior(
+                1,
+                5,
+                fid(0.2),
+                Misbehavior::SelectiveForward {
+                    kinds: vec![MessageKind::Lin, MessageKind::Ring],
+                    p: 0.5,
+                },
+            )
+            .with_behavior(
+                2,
+                6,
+                fid(0.4),
+                Misbehavior::LyingState {
+                    mode: LieMode::Scramble,
+                },
+            )
+            .with_behavior(
+                3,
+                4,
+                fid(0.6),
+                Misbehavior::SybilCluster {
+                    k: 2,
+                    center: fid(0.6),
+                },
+            );
+        assert!(plan.validate().is_ok());
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn selective_forward_refusal_severs_a_sole_carrier_attributably() {
+        // kinds = [Lin] at p = 1: a's forward of the sole Lin(c) carrier
+        // is silently refused — same verdict as a hard drop, but scoped
+        // to the misbehaving node, and the watchdog still names the
+        // refused message.
+        let (mut net, a, b, c) = three_node_net(false);
+        net.attach_faults(FaultPlan::new(7).with_behavior(
+            1,
+            3,
+            a,
+            Misbehavior::SelectiveForward {
+                kinds: vec![MessageKind::Lin],
+                p: 1.0,
+            },
+        ));
+        let report = watch_recovery(&mut net, 200);
+        assert!(report.dropped_fault > 0, "the refusal counts as a drop");
+        match &report.verdict {
+            Verdict::PermanentlyDisconnected { culprit, .. } => {
+                let rec = culprit.expect("culprit identifiable");
+                assert_eq!(rec.msg, Message::Lin(c));
+                assert_eq!(rec.src, a);
+                assert_eq!(rec.dest, b);
+            }
+            other => panic!("expected refusal disconnection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selective_forward_passes_non_matching_kinds() {
+        // Same scenario, but the refusal is scoped to Ring messages —
+        // the Lin(c) carrier passes untouched and the ring closes.
+        let (mut net, a, _b, _c) = three_node_net(false);
+        net.attach_faults(FaultPlan::new(7).with_behavior(
+            1,
+            3,
+            a,
+            Misbehavior::SelectiveForward {
+                kinds: vec![MessageKind::Ring],
+                p: 1.0,
+            },
+        ));
+        let report = watch_recovery(&mut net, 500);
+        assert!(
+            matches!(report.verdict, Verdict::Recovered { .. }),
+            "non-matching kinds must pass: {:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn lying_forgery_severs_a_sole_carrier_attributably() {
+        // a self-promotes: its forward of Lin(c) leaves as Lin(a), so c
+        // never joins. The true payload is in the drop log — forgery is
+        // as attributable as destruction.
+        let (mut net, a, _b, c) = three_node_net(false);
+        net.attach_faults(FaultPlan::new(7).with_behavior(
+            1,
+            3,
+            a,
+            Misbehavior::LyingState {
+                mode: LieMode::SelfPromote,
+            },
+        ));
+        let report = watch_recovery(&mut net, 200);
+        assert!(
+            report.forged_fault > 0,
+            "the liar must have forged payloads"
+        );
+        match &report.verdict {
+            Verdict::PermanentlyDisconnected { culprit, .. } => {
+                let rec = culprit.expect("forgery attributable");
+                assert_eq!(rec.msg, Message::Lin(c));
+                assert_eq!(rec.src, a);
+            }
+            other => panic!("expected disconnection by forgery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scramble_lies_stay_in_closure_and_recover_after_the_window() {
+        // Scramble forgeries draw from the live-id pool, so the
+        // knowledge graph never leaves its closure: a stable ring is
+        // degraded during the window and heals after it.
+        let ids = evenly_spaced_ids(12);
+        let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 8);
+        net.run(5);
+        let now = net.round();
+        net.attach_faults(FaultPlan::new(9).with_behavior(
+            now + 1,
+            now + 8,
+            ids[6],
+            Misbehavior::LyingState {
+                mode: LieMode::Scramble,
+            },
+        ));
+        net.run(8); // ride out the lying window
+        assert!(
+            net.trace().total_forged_fault() > 0,
+            "scramble must forge in-window"
+        );
+        let report = watch_recovery(&mut net, 5000);
+        assert!(
+            matches!(report.verdict, Verdict::Recovered { .. }),
+            "stored pointers survive scramble lies: {:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn sybil_cluster_joins_and_is_absorbed() {
+        let ids = evenly_spaced_ids(8);
+        let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 11);
+        net.run(5);
+        let start = net.round() + 1;
+        net.attach_faults(FaultPlan::new(4).with_behavior(
+            start,
+            start + 1,
+            ids[3],
+            Misbehavior::SybilCluster {
+                k: 3,
+                center: ids[5],
+            },
+        ));
+        net.step(); // sybils join through ids[3]
+        assert_eq!(net.ids().len(), 11, "3 sybils must have joined");
+        for sid in sybil_ids(ids[5], 3) {
+            assert!(net.node(sid).is_some(), "{sid:?} must be live");
+        }
+        let report = watch_recovery(&mut net, 5000);
+        assert!(
+            matches!(report.verdict, Verdict::Recovered { .. }),
+            "the ring must absorb the cluster: {:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn durable_restart_restores_the_captured_state() {
+        let ids = evenly_spaced_ids(10);
+        let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 9);
+        net.run(10);
+        let crash_round = net.round() + 1;
+        let victim = ids[4];
+        let before = net.node(victim).expect("live").clone();
+        net.attach_faults(FaultPlan::new(1).with_durable_crash(
+            crash_round,
+            victim,
+            3,
+            crash_round,
+        ));
+        net.step(); // capture happens at round start, then the crash lands
+        let inj = net.fault_injector().expect("attached");
+        assert!(inj.is_down(victim));
+        assert_eq!(inj.saved_state(victim).expect("captured"), &before);
+        net.run(3); // downtime elapses; the restart restores the capture
+        let after = net.node(victim).expect("restored");
+        assert_eq!(after.left(), before.left(), "restored stale left pointer");
+        assert_eq!(
+            after.right(),
+            before.right(),
+            "restored stale right pointer"
+        );
+        assert!(net
+            .fault_injector()
+            .expect("attached")
+            .saved_state(victim)
+            .is_none());
+        let report = watch_recovery(&mut net, 5000);
+        assert!(
+            matches!(report.verdict, Verdict::Recovered { .. }),
+            "durable restart must heal: {:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn durable_restart_without_a_capture_degrades_to_amnesia() {
+        let ids = evenly_spaced_ids(10);
+        let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 9);
+        net.run(10);
+        let victim = ids[4];
+        // snapshot_round 0 is long past when the plan attaches, so
+        // nothing is ever captured and the restart falls back to a
+        // blank rejoin.
+        net.attach_faults(FaultPlan::new(1).with_durable_crash(net.round() + 1, victim, 3, 0));
+        net.step();
+        assert!(net
+            .fault_injector()
+            .expect("attached")
+            .saved_state(victim)
+            .is_none());
+        let report = watch_recovery(&mut net, 5000);
+        assert!(
+            matches!(report.verdict, Verdict::Recovered { .. }),
+            "amnesia fallback must still heal: {:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn counted_rng_cursor_restores_the_stream() {
+        let mut a = CountedRng::seeded(42);
+        for _ in 0..37 {
+            a.next_u64();
+        }
+        let mut b = CountedRng::at_cursor(42, a.draws);
+        assert_eq!(a.draws, b.draws);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64(), "streams must stay in lockstep");
+        }
+    }
+
+    #[test]
+    fn injector_state_round_trips_and_rebuilds() {
+        let ids = evenly_spaced_ids(12);
+        let mut net = Network::new(make_sorted_ring(&ids, ProtocolConfig::default()), 5);
+        net.attach_faults(
+            FaultPlan::new(11)
+                .with_drop(1, 10, 0.5)
+                .with_durable_crash(3, ids[2], 2, 2),
+        );
+        net.run(6);
+        let state = net.fault_injector().expect("attached").state();
+        assert!(state.rng_draws > 0, "the loss window must have drawn coins");
+        let json = serde_json::to_string(&state).expect("serialize");
+        let back: InjectorState = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, state);
+        let rebuilt = FaultInjector::from_state(back).expect("rebuild");
+        assert_eq!(rebuilt.state(), state, "state capture must be a fixpoint");
     }
 }

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod chaos;
 pub mod churn;
 pub mod convergence;
 pub mod faults;

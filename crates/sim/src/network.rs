@@ -19,7 +19,7 @@
 //! state and policy replay the exact same computation.
 
 use crate::channel::{Channel, DeliveryPolicy};
-use crate::faults::{Fate, FaultInjector, FaultPlan};
+use crate::faults::{sybil_ids, Fate, FaultInjector, FaultPlan};
 use crate::metrics::NetMetrics;
 use crate::obs::causal::{CascadeReport, CauseTag};
 use crate::obs::{Event, ObsState, Sink};
@@ -177,6 +177,21 @@ impl Network {
     /// Panics when [`FaultPlan::validate`] rejects the plan.
     pub fn attach_faults(&mut self, plan: FaultPlan) {
         self.faults = Some(Box::new(FaultInjector::new(plan)));
+    }
+
+    /// Attaches a pre-built injector — e.g. one rebuilt from a persisted
+    /// checkpoint ([`FaultInjector::from_state`]) — replacing any
+    /// previous one. The injector resumes mid-plan: its RNG cursor, down
+    /// map and drop log continue from wherever the checkpoint left off.
+    pub fn attach_injector(&mut self, inj: FaultInjector) {
+        self.faults = Some(Box::new(inj));
+    }
+
+    /// Sets the round counter (persist restore only: a restored network
+    /// must resume at the checkpointed round or every plan window would
+    /// shift).
+    pub(crate) fn set_round(&mut self, round: u64) {
+        self.round = round;
     }
 
     /// Detaches the fault injector (subsequent rounds are fault-free),
@@ -888,7 +903,8 @@ impl Network {
         // leaving the `causes` lane untouched.
         let causal_active = OBS && obs.as_ref().is_some_and(|o| o.causal.active);
         let mut cause_cursor = 0usize;
-        for (k, &(dest, msg)) in outbox.sends().iter().enumerate() {
+        for (k, &(dest, sent_msg)) in outbox.sends().iter().enumerate() {
+            let mut msg = sent_msg;
             stats.count_sent(msg.kind());
             if let Some(t) = *tracked {
                 if msg.carried_ids().any(|x| x == t) {
@@ -906,8 +922,17 @@ impl Network {
             if FAULTS {
                 // The injector decides each send's fate with its own RNG
                 // stream (consumed only inside active windows), so the
-                // protocol RNG draws are untouched by any plan.
+                // protocol RNG draws are untouched by any plan. A lying
+                // sender forges the payload *before* the fate decision,
+                // so the drop log and delivery path both see what was
+                // actually put on the wire (the destroyed original is
+                // logged inside `rewrite`).
                 if let (Some(inj), Some(src)) = (faults.as_deref_mut(), sender_id) {
+                    let forged = inj.rewrite(now, src, dest, msg);
+                    if forged != msg {
+                        stats.forged_fault += 1;
+                        msg = forged;
+                    }
                     match inj.fate(now, src, dest, msg) {
                         Fate::Deliver => {}
                         Fate::Drop => {
@@ -1006,9 +1031,11 @@ impl Network {
     }
 
     /// Applies the attached plan's round-start faults for round `now`:
-    /// restarts first (downtime over ⇒ the blank node rejoins the loop),
-    /// then crashes (state reset + channel loss + downtime), then
-    /// neighbour-state perturbations. Only called from the `FAULTS`
+    /// restarts first (downtime over ⇒ the node rejoins the loop, blank
+    /// or from its durable checkpoint), then durable-crash state
+    /// captures, then crashes (state reset + channel loss + downtime),
+    /// then sybil-cluster joins, then neighbour-state perturbations,
+    /// then adversarial-window wakeups. Only called from the `FAULTS`
     /// monomorphizations, at most once per round, so it stays out of the
     /// hot path entirely.
     fn apply_round_faults(&mut self, now: u64, stats: &mut RoundStats) {
@@ -1019,10 +1046,28 @@ impl Network {
         };
         for id in inj.take_restarts(now) {
             stats.links_changed = true;
-            if let Some(sched) = self.sched.as_mut() {
-                // The blank node rejoins the loop this round: unsettled
-                // (its state is a fresh isolated node) and scheduled.
-                if let Some(slot) = self.index.get(id) {
+            let restored = inj.take_saved(id);
+            let durable = restored.is_some();
+            if let Some(slot) = self.index.get(id) {
+                if let Some(saved) = restored {
+                    // Durable restart: the checkpointed state is adopted
+                    // verbatim — a stale but *valid* protocol view whose
+                    // pointers re-validate instead of rebuilding from
+                    // scratch. Neighbours whose settlement certificates
+                    // assumed the blank crash state must be re-verified
+                    // against the resurrected pointers.
+                    let targets = [saved.left().fin(), saved.right().fin(), saved.ring()];
+                    self.nodes[slot] = Some(saved);
+                    if self.sched.is_some() {
+                        for t in targets.into_iter().flatten() {
+                            self.recheck_settled(t);
+                        }
+                    }
+                }
+                if let Some(sched) = self.sched.as_mut() {
+                    // The node rejoins the loop this round: unsettled
+                    // (blank or stale state either way needs
+                    // re-validation) and scheduled.
                     sched.set_settled(slot, false);
                     sched.schedule(slot);
                 }
@@ -1030,7 +1075,11 @@ impl Network {
             self.emit(Event::Fault {
                 round: now,
                 kind: "restart".to_string(),
-                detail: format!("{id:?} back up with blank state"),
+                detail: if durable {
+                    format!("{id:?} back up from its durable checkpoint")
+                } else {
+                    format!("{id:?} back up with blank state")
+                },
             });
         }
         for (kind, detail) in inj.windows_opening_at(now) {
@@ -1039,6 +1088,22 @@ impl Network {
                 kind: kind.to_string(),
                 detail,
             });
+        }
+        // Durable-crash checkpoints: capture the start-of-round state of
+        // every node whose durable crash snapshots at this round, before
+        // any crash below can blank it (`snapshot_round == round`
+        // captures the immediately-pre-crash state). A node already down
+        // has no live state to capture — its restart degrades to
+        // amnesia, as documented on `Restart::Durable`.
+        for id in inj.snapshots_due_at(now) {
+            if inj.is_down(id) {
+                continue;
+            }
+            if let Some(slot) = self.index.get(id) {
+                if let Some(node) = self.nodes[slot].as_ref() {
+                    inj.save_node(node.clone());
+                }
+            }
         }
         for c in inj.crashes_at(now) {
             let Some(slot) = self.index.get(c.node) else {
@@ -1082,6 +1147,51 @@ impl Network {
                 ),
             });
         }
+        for (contact, center, k) in inj.sybils_at(now) {
+            // The cluster joins through its contact: each sybil adopts
+            // the contact as its one-sided neighbour (the regular join
+            // bootstrap) and announces itself with a `lin`, exactly like
+            // an honest joiner — the attack is the ε-interval id
+            // placement, not the join mechanics.
+            let Some(contact_slot) = self.index.get(contact) else {
+                continue; // contact departed before the window opened
+            };
+            if inj.is_down(contact) {
+                self.emit(Event::Fault {
+                    round: now,
+                    kind: "sybil_cluster".to_string(),
+                    detail: format!("contact {contact:?} is down, cluster skipped"),
+                });
+                continue;
+            }
+            let cfg = *self.nodes[contact_slot]
+                .as_ref()
+                .expect("indexed slot is live")
+                .config();
+            let mut joined = 0usize;
+            for sid in sybil_ids(center, k) {
+                if self.index.contains(sid) {
+                    continue; // id collision: that spot is already taken
+                }
+                let (l, r) = if contact < sid {
+                    (Extended::Fin(contact), Extended::PosInf)
+                } else {
+                    (Extended::NegInf, Extended::Fin(contact))
+                };
+                let inserted = self.insert_node(Node::with_state(sid, l, r, sid, None, cfg));
+                debug_assert!(inserted, "collision checked above");
+                self.send_external(contact, Message::Lin(sid));
+                joined += 1;
+            }
+            if joined > 0 {
+                stats.links_changed = true;
+            }
+            self.emit(Event::Fault {
+                round: now,
+                kind: "sybil_cluster".to_string(),
+                detail: format!("{joined} sybils joined via {contact:?} right of {center:?}"),
+            });
+        }
         for p in inj.perturbations_at(now) {
             let live: Vec<NodeId> = self.index.ids().filter(|id| !inj.is_down(*id)).collect();
             if live.len() < 2 {
@@ -1101,6 +1211,21 @@ impl Network {
                 // their certificates re-verified (`l` is kept, so its
                 // target's certificate still holds).
                 let old_targets = [node.right().fin(), node.ring()];
+                // Log every overwritten pointer value as a state
+                // erasure: on an unconverged start the old target can be
+                // the knowledge graph's only edge into its component, so
+                // a perturbation can sever connectivity with no message
+                // ever dropped — the watchdog attributes it from these
+                // records exactly like a sole-carrier drop.
+                for t in [node.right().fin(), Some(node.lrl()), node.ring()]
+                    .into_iter()
+                    .flatten()
+                {
+                    if t != v {
+                        inj.note_drop(now, v, v, Message::Lin(t));
+                        stats.erased_fault += 1;
+                    }
+                }
                 let r = Extended::Fin(inj.pick_one(&live));
                 let lrl = inj.pick_one(&live);
                 let ring = Some(inj.pick_one(&live));
@@ -1119,6 +1244,26 @@ impl Network {
                 kind: "perturb".to_string(),
                 detail: format!("{hit} nodes' r/lrl/ring randomized"),
             });
+        }
+        // Misbehaving nodes act every round of their window (see
+        // `FaultInjector::behavior_nodes_active_at`); scramble forgeries
+        // draw from a pool refreshed after all of this round's
+        // structural changes, so lies only ever name live nodes and the
+        // knowledge closure cannot be violated by an invented id.
+        if let Some(sched) = self.sched.as_mut() {
+            for id in inj.behavior_nodes_active_at(now) {
+                if inj.is_down(id) {
+                    continue;
+                }
+                if let Some(slot) = self.index.get(id) {
+                    sched.set_settled(slot, false);
+                    sched.schedule(slot);
+                }
+            }
+        }
+        if inj.needs_lie_pool(now) {
+            let pool: Vec<NodeId> = self.index.ids().filter(|id| !inj.is_down(*id)).collect();
+            inj.set_lie_pool(pool);
         }
         self.faults = Some(inj);
     }

@@ -1,57 +1,184 @@
 //! Snapshot persistence: save and restore global states as JSON.
 //!
-//! Long experiments become checkpointable and failures replayable: a
-//! [`Snapshot`](swn_core::views::Snapshot) round-trips through a
-//! versioned JSON document, and a network can be rebuilt from one
-//! (channel contents included, so the restored computation continues
-//! from exactly the persisted CC state).
+//! Long experiments become checkpointable and failures replayable. Two
+//! document versions exist:
+//!
+//! * **v1** — a bare [`Snapshot`](swn_core::views::Snapshot): node
+//!   states plus channel contents. Still produced by
+//!   [`snapshot_to_json`] and still loaded by every reader.
+//! * **v2** — a full [`Checkpoint`]: the round counter, the snapshot,
+//!   and (when a fault plan is attached) the complete
+//!   [`InjectorState`] — plan, RNG cursor, down map, drop log and
+//!   captured durable-crash states. Restoring a v2 checkpoint resumes
+//!   the faulted computation exactly: plan windows stay aligned (the
+//!   round counter is restored) and the injector's RNG continues from
+//!   its persisted cursor.
+//!
+//! All readers reject malformed input with a named [`PersistError`]
+//! instead of panicking.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
 use swn_core::message::Message;
 use swn_core::node::Node;
 use swn_core::views::Snapshot;
 
+use crate::faults::{FaultInjector, InjectorState};
 use crate::network::Network;
 
 /// Current document version (bumped on breaking layout changes).
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
-/// The serializable form of a snapshot.
+/// The legacy bare-snapshot document version.
+pub const V1_VERSION: u32 = 1;
+
+/// A failure to parse or validate a persisted document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// The input is not parseable JSON or does not match the document
+    /// layout (truncated input lands here).
+    Json(String),
+    /// The document declares a version this reader does not support.
+    UnsupportedVersion(u32),
+    /// The document parsed but violates a structural invariant
+    /// (mismatched node/channel counts, duplicate ids, invalid plan).
+    Malformed(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Json(e) => write!(f, "unparseable snapshot document: {e}"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {V1_VERSION} or {FORMAT_VERSION})"
+                )
+            }
+            PersistError::Malformed(e) => write!(f, "malformed snapshot document: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// A restorable network state: the round counter, the global state
+/// (node variables and channel contents) and — for faulted runs — the
+/// injector's complete state.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// The round counter at capture time.
+    pub round: u64,
+    /// Node states and channel contents.
+    pub snapshot: Snapshot,
+    /// The fault injector's state, when a plan was attached.
+    pub injector: Option<InjectorState>,
+}
+
+/// The serializable v1 form: a bare snapshot.
 #[derive(Serialize, Deserialize)]
-struct Doc {
+struct DocV1 {
     version: u32,
     nodes: Vec<Node>,
     channels: Vec<Vec<Message>>,
 }
 
-/// Serializes a snapshot to JSON.
+/// The serializable v2 form: a checkpoint.
+#[derive(Serialize, Deserialize)]
+struct DocV2 {
+    version: u32,
+    round: u64,
+    nodes: Vec<Node>,
+    channels: Vec<Vec<Message>>,
+    injector: Option<InjectorState>,
+}
+
+/// Serializes a bare snapshot to a v1 JSON document.
 pub fn snapshot_to_json(s: &Snapshot) -> String {
-    let doc = Doc {
-        version: FORMAT_VERSION,
+    let doc = DocV1 {
+        version: V1_VERSION,
         nodes: s.nodes().to_vec(),
         channels: s.channels().to_vec(),
     };
+    // Rendering an in-memory Value tree to text cannot fail; there is
+    // no I/O and no non-string map key.
+    // lint: allow(unwrap-in-lib)
     serde_json::to_string(&doc).expect("snapshot serialization cannot fail")
 }
 
-/// Deserializes a snapshot from JSON.
-pub fn snapshot_from_json(json: &str) -> Result<Snapshot, String> {
-    let doc: Doc = serde_json::from_str(json).map_err(|e| e.to_string())?;
-    if doc.version != FORMAT_VERSION {
-        return Err(format!(
-            "unsupported snapshot version {} (expected {FORMAT_VERSION})",
-            doc.version
+/// Deserializes a bare snapshot from JSON (either version; v2 documents
+/// lose their round counter and injector — use [`checkpoint_from_json`]
+/// to keep them).
+pub fn snapshot_from_json(json: &str) -> Result<Snapshot, PersistError> {
+    checkpoint_from_json(json).map(|cp| cp.snapshot)
+}
+
+/// Captures a restorable checkpoint of `net`: round counter, global
+/// state, and the injector state when a fault plan is attached.
+pub fn checkpoint(net: &Network) -> Checkpoint {
+    Checkpoint {
+        round: net.round(),
+        snapshot: net.snapshot(),
+        injector: net.fault_injector().map(FaultInjector::state),
+    }
+}
+
+/// Serializes a checkpoint to a v2 JSON document.
+pub fn checkpoint_to_json(cp: &Checkpoint) -> String {
+    let doc = DocV2 {
+        version: FORMAT_VERSION,
+        round: cp.round,
+        nodes: cp.snapshot.nodes().to_vec(),
+        channels: cp.snapshot.channels().to_vec(),
+        injector: cp.injector.clone(),
+    };
+    // lint: allow(unwrap-in-lib) — same argument as `snapshot_to_json`.
+    serde_json::to_string(&doc).expect("checkpoint serialization cannot fail")
+}
+
+/// Deserializes a checkpoint from JSON, dispatching on the declared
+/// document version: v1 documents load as a round-0 checkpoint with no
+/// injector; v2 documents restore everything. Truncated or garbage
+/// input yields [`PersistError::Json`], unknown versions
+/// [`PersistError::UnsupportedVersion`], and structurally inconsistent
+/// documents [`PersistError::Malformed`] — never a panic.
+pub fn checkpoint_from_json(json: &str) -> Result<Checkpoint, PersistError> {
+    let value: Value = serde_json::from_str(json).map_err(|e| PersistError::Json(e.to_string()))?;
+    let version = declared_version(&value)?;
+    let (round, nodes, channels, injector) = match version {
+        V1_VERSION => {
+            let doc = DocV1::from_value(&value).map_err(|e| PersistError::Json(e.to_string()))?;
+            (0, doc.nodes, doc.channels, None)
+        }
+        FORMAT_VERSION => {
+            let doc = DocV2::from_value(&value).map_err(|e| PersistError::Json(e.to_string()))?;
+            (doc.round, doc.nodes, doc.channels, doc.injector)
+        }
+        other => return Err(PersistError::UnsupportedVersion(other)),
+    };
+    if nodes.len() != channels.len() {
+        return Err(PersistError::Malformed(
+            "node/channel count mismatch".to_string(),
         ));
     }
-    if doc.nodes.len() != doc.channels.len() {
-        return Err("node/channel count mismatch".to_string());
-    }
-    let mut ids: Vec<_> = doc.nodes.iter().map(swn_core::node::Node::id).collect();
+    let mut ids: Vec<_> = nodes.iter().map(Node::id).collect();
     ids.sort_unstable();
     if ids.windows(2).any(|w| w[0] == w[1]) {
-        return Err("duplicate node ids in snapshot".to_string());
+        return Err(PersistError::Malformed(
+            "duplicate node ids in snapshot".to_string(),
+        ));
     }
-    Ok(Snapshot::new(doc.nodes, doc.channels))
+    if let Some(state) = &injector {
+        state
+            .plan
+            .validate()
+            .map_err(|e| PersistError::Malformed(format!("invalid fault plan: {e}")))?;
+    }
+    Ok(Checkpoint {
+        round,
+        snapshot: Snapshot::new(nodes, channels),
+        injector,
+    })
 }
 
 /// Rebuilds a runnable network from a snapshot: node states are adopted
@@ -70,10 +197,44 @@ pub fn network_from_snapshot(s: &Snapshot, seed: u64) -> Network {
     net
 }
 
+/// Rebuilds a runnable network from a checkpoint: like
+/// [`network_from_snapshot`], plus the round counter is restored (plan
+/// windows stay aligned) and the injector — when one was captured — is
+/// rebuilt at its persisted RNG cursor and reattached.
+pub fn network_from_checkpoint(cp: &Checkpoint, seed: u64) -> Result<Network, PersistError> {
+    let mut net = Network::new(cp.snapshot.nodes().to_vec(), seed);
+    net.set_round(cp.round);
+    for (idx, msgs) in cp.snapshot.channels().iter().enumerate() {
+        let dest = cp.snapshot.nodes()[idx].id();
+        for &m in msgs {
+            net.preload(dest, m);
+        }
+    }
+    if let Some(state) = &cp.injector {
+        let inj = FaultInjector::from_state(state.clone())
+            .map_err(|e| PersistError::Malformed(format!("invalid fault plan: {e}")))?;
+        net.attach_injector(inj);
+    }
+    Ok(net)
+}
+
+/// Reads the `version` field of a document without committing to a
+/// layout — the dispatch key for multi-version loading.
+fn declared_version(value: &Value) -> Result<u32, PersistError> {
+    let Value::Map(entries) = value else {
+        return Err(PersistError::Json("expected a JSON object".to_string()));
+    };
+    let Some((_, v)) = entries.iter().find(|(k, _)| k == "version") else {
+        return Err(PersistError::Json("missing `version` field".to_string()));
+    };
+    u32::from_value(v).map_err(|e| PersistError::Json(format!("bad `version` field: {e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::convergence::run_to_ring;
+    use crate::faults::FaultPlan;
     use crate::init::{generate, InitialTopology};
     use swn_core::config::ProtocolConfig;
     use swn_core::id::evenly_spaced_ids;
@@ -114,18 +275,131 @@ mod tests {
     }
 
     #[test]
+    fn v1_documents_still_load() {
+        // A v1 document (bare snapshot) loads through the v2 reader as
+        // a round-0 checkpoint with no injector.
+        let net = sample_network();
+        let json = snapshot_to_json(&net.snapshot());
+        assert!(json.contains("\"version\":1"), "writer must emit v1");
+        let cp = checkpoint_from_json(&json).expect("v1 back-compat");
+        assert_eq!(cp.round, 0);
+        assert!(cp.injector.is_none());
+        assert_eq!(cp.snapshot.nodes(), net.snapshot().nodes());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_with_injector() {
+        let mut net = sample_network();
+        let ids = net.ids();
+        net.attach_faults(
+            FaultPlan::new(17)
+                .with_drop(net.round() + 1, net.round() + 6, 0.4)
+                .with_crash(net.round() + 2, ids[3], 3),
+        );
+        net.run(4); // consume injector RNG, crash a node
+        let cp = checkpoint(&net);
+        assert!(cp.injector.is_some());
+        let json = checkpoint_to_json(&cp);
+        let back = checkpoint_from_json(&json).expect("round trip");
+        assert_eq!(back.round, cp.round);
+        assert_eq!(back.snapshot.nodes(), cp.snapshot.nodes());
+        assert_eq!(back.snapshot.channels(), cp.snapshot.channels());
+        assert_eq!(back.injector, cp.injector);
+    }
+
+    #[test]
+    fn restored_checkpoint_resumes_deterministically_and_recovers() {
+        // Checkpoint mid-fault-window, restore *twice* from the same
+        // JSON with the same seed: the two resumed runs must be
+        // bit-identical (restore is deterministic — the injector comes
+        // back at its persisted RNG cursor and the round counter keeps
+        // the plan windows aligned), and the resumed computation must
+        // still stabilize once the windows close.
+        let mut net = sample_network();
+        let ids = net.ids();
+        net.attach_faults(
+            FaultPlan::new(23)
+                .with_drop(5, 20, 0.3)
+                .with_duplicate(6, 18, 0.2)
+                .with_crash(7, ids[5], 4),
+        );
+        net.run(6); // park mid-window
+        let json = checkpoint_to_json(&checkpoint(&net));
+        let cp = checkpoint_from_json(&json).expect("parse");
+        let mut a = network_from_checkpoint(&cp, 5).expect("restore");
+        let mut b = network_from_checkpoint(&cp, 5).expect("restore");
+        assert_eq!(a.round(), net.round());
+        a.run(30);
+        b.run(30);
+        assert_eq!(
+            a.snapshot().nodes(),
+            b.snapshot().nodes(),
+            "two restores from the same checkpoint must replay identically"
+        );
+        assert_eq!(
+            a.fault_injector().expect("attached").drops(),
+            b.fault_injector().expect("attached").drops(),
+        );
+        let rep = run_to_ring(&mut a, 100_000);
+        assert!(rep.stabilized(), "resumed faulted run must stabilize");
+    }
+
+    #[test]
     fn version_mismatch_rejected() {
         let net = sample_network();
         let json = snapshot_to_json(&net.snapshot()).replace("\"version\":1", "\"version\":999");
-        assert!(snapshot_from_json(&json)
-            .unwrap_err()
-            .contains("unsupported snapshot version"));
+        assert_eq!(
+            snapshot_from_json(&json).unwrap_err(),
+            PersistError::UnsupportedVersion(999)
+        );
     }
 
     #[test]
     fn garbage_rejected_gracefully() {
-        assert!(snapshot_from_json("not json").is_err());
-        assert!(snapshot_from_json("{}").is_err());
+        assert!(matches!(
+            snapshot_from_json("not json").unwrap_err(),
+            PersistError::Json(_)
+        ));
+        assert!(matches!(
+            snapshot_from_json("{}").unwrap_err(),
+            PersistError::Json(_)
+        ));
+        assert!(matches!(
+            snapshot_from_json("[1,2,3]").unwrap_err(),
+            PersistError::Json(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_checkpoint_rejected_with_named_error() {
+        let mut net = sample_network();
+        net.attach_faults(FaultPlan::new(3).with_drop(4, 9, 0.5));
+        net.run(6);
+        let json = checkpoint_to_json(&checkpoint(&net));
+        for cut in [1, json.len() / 4, json.len() / 2, json.len() - 1] {
+            let truncated = &json[..cut];
+            assert!(
+                matches!(checkpoint_from_json(truncated), Err(PersistError::Json(_))),
+                "truncation at {cut} must be a named parse error"
+            );
+        }
+    }
+
+    #[test]
+    fn inconsistent_documents_rejected_as_malformed() {
+        // Channel list shorter than the node list.
+        let net = sample_network();
+        let s = net.snapshot();
+        let doc = DocV1 {
+            version: V1_VERSION,
+            nodes: s.nodes().to_vec(),
+            channels: vec![Vec::new(); s.nodes().len() - 1],
+        };
+        let json = serde_json::to_string(&doc).expect("serialize");
+        assert!(matches!(
+            checkpoint_from_json(&json).unwrap_err(),
+            PersistError::Malformed(_)
+        ));
     }
 
     #[test]

@@ -31,6 +31,17 @@ pub struct RoundStats {
     /// Extra copies created by the fault injector's duplication rate.
     /// Counted on top of `sent` (the original is counted there).
     pub duplicated_fault: u64,
+    /// Messages whose payload a lying-state behavior forged in flight.
+    /// The true payload is destroyed (and logged as a drop) even though
+    /// *a* message is still delivered, so a forgery can sever a sole
+    /// carrier exactly like a fault drop can.
+    pub forged_fault: u64,
+    /// Stored pointer values a state perturbation overwrote. The old
+    /// target may have been the knowledge graph's only edge into its
+    /// component, so an erasure can sever connectivity exactly like a
+    /// sole-carrier drop; each erased value is logged in the injector's
+    /// drop log so the watchdog can attribute the disconnection.
+    pub erased_fault: u64,
     /// `lin` messages to a departed destination that were handed back to
     /// their sender for reprocessing (the payload named a live node, so
     /// the message may be its sole carrier). Not drops: the payload stays
@@ -174,6 +185,18 @@ impl Trace {
     /// Total fault-injected duplicate copies over the whole run.
     pub fn total_duplicated_fault(&self) -> u64 {
         self.rounds.iter().map(|r| r.duplicated_fault).sum()
+    }
+
+    /// Total lying-state forgeries over the whole run (see
+    /// `RoundStats::forged_fault`).
+    pub fn total_forged_fault(&self) -> u64 {
+        self.rounds.iter().map(|r| r.forged_fault).sum()
+    }
+
+    /// Total perturbation-erased pointer values over the whole run (see
+    /// `RoundStats::erased_fault`).
+    pub fn total_erased_fault(&self) -> u64 {
+        self.rounds.iter().map(|r| r.erased_fault).sum()
     }
 
     /// Total probe repairs over the whole run.

@@ -46,6 +46,15 @@
 //!   output goes — a stray `println!` in a library corrupts JSONL
 //!   streams and machine-read pipelines. Intentional console surfaces
 //!   (e.g. `Table::print`) carry a waiver.
+//! * [`Rule::UnwrapInLib`] — the robustness modules of `swn-sim`
+//!   (`faults`, `persist`, `chaos`) must not call `.unwrap()` /
+//!   `.expect(…)` outside `#[cfg(test)]` items. These are exactly the
+//!   paths exercised while injecting faults, restoring corrupted
+//!   checkpoints and classifying chaos scenarios: a panic there is
+//!   indistinguishable from the protocol bug being hunted, so errors
+//!   must surface as `Result`s/named outcomes. Each deliberate panic
+//!   (e.g. serializing an in-memory value tree) carries a waiver
+//!   stating why it cannot be reached by untrusted input.
 //!
 //! A finding is suppressed by a waiver comment `// lint: allow(<rule>)`
 //! on the offending line or the line directly above it.
@@ -78,6 +87,8 @@ pub enum Rule {
     BtreeHotPath,
     /// Console print macro in library (non-binary) code.
     PrintlnInLib,
+    /// `.unwrap()`/`.expect(` in fault/persist/chaos library code.
+    UnwrapInLib,
 }
 
 impl Rule {
@@ -91,6 +102,7 @@ impl Rule {
             Rule::Nondeterminism => "determinism",
             Rule::BtreeHotPath => "btree-hot-path",
             Rule::PrintlnInLib => "println-in-lib",
+            Rule::UnwrapInLib => "unwrap-in-lib",
         }
     }
 }
@@ -237,22 +249,25 @@ fn blank_noncode(src: &str) -> String {
 
 /// Line numbers (1-based) covered by `#[cfg(test)]` items: from the
 /// attribute to the close of the brace block that follows it.
-fn test_region_lines(original: &str, blanked: &str) -> Vec<(usize, usize)> {
+///
+/// Scans the *blanked* text: the attribute is code so it survives
+/// blanking, occurrences quoted in comments or strings are erased, and
+/// — crucially — the byte offset of a hit stays aligned with the brace
+/// walk. (Searching the original and reusing its offsets in the blanked
+/// text silently desynchronizes the walk as soon as a comment contains
+/// a multi-byte character, which blanking collapses to one space.)
+fn test_region_lines(blanked: &str) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
-    let line_of = |pos: usize, text: &str| text[..pos].matches('\n').count() + 1;
+    let line_of = |pos: usize| blanked[..pos].matches('\n').count() + 1;
+    let bytes: Vec<char> = blanked.chars().collect();
     let mut search = 0;
-    while let Some(rel) = original[search..].find("#[cfg(test)]") {
+    while let Some(rel) = blanked[search..].find("#[cfg(test)]") {
         let at = search + rel;
-        let start_line = line_of(at, original);
-        // Find the item's opening brace in the blanked text and walk to
-        // its match.
+        let start_line = line_of(at);
+        // Find the item's opening brace and walk to its match.
         let mut depth = 0usize;
         let mut end_line = start_line;
-        let bytes: Vec<char> = blanked.chars().collect();
-        let mut k = blanked
-            .char_indices()
-            .position(|(p, _)| p >= at)
-            .unwrap_or(bytes.len());
+        let mut k = blanked[..at].chars().count();
         let mut opened = false;
         while k < bytes.len() {
             match bytes[k] {
@@ -264,7 +279,7 @@ fn test_region_lines(original: &str, blanked: &str) -> Vec<(usize, usize)> {
                     depth = depth.saturating_sub(1);
                     if opened && depth == 0 {
                         let pos: usize = bytes[..=k].iter().map(|c| c.len_utf8()).sum();
-                        end_line = line_of(pos.min(blanked.len()), blanked);
+                        end_line = line_of(pos.min(blanked.len()));
                         break;
                     }
                 }
@@ -395,6 +410,7 @@ struct FileClass {
     determinism: bool,
     btree_hot_path: bool,
     println_in_lib: bool,
+    unwrap_in_lib: bool,
 }
 
 /// Handler modules of `swn-core` where a peer-triggered panic is a
@@ -421,6 +437,13 @@ const DETERMINISTIC_CRATES: [&str; 3] = [
 /// (the arenas + sorted lanes of DESIGN.md §12 replaced it).
 const HOT_PATH_FILES: [&str; 4] = ["slots.rs", "network.rs", "channel.rs", "sched.rs"];
 
+/// Robustness modules of the simulator: the fault injector, the
+/// durability layer and the chaos engine. These run while the system is
+/// deliberately being broken, so a panic is never an acceptable way to
+/// report an error — it would be classified as the very failure the
+/// campaign is hunting.
+const ROBUSTNESS_FILES: [&str; 3] = ["faults.rs", "persist.rs", "chaos.rs"];
+
 fn classify(path: &str) -> FileClass {
     let p = path.replace('\\', "/");
     let in_core = p.contains("crates/core/src/");
@@ -439,6 +462,8 @@ fn classify(path: &str) -> FileClass {
             && p.contains("/src/")
             && file != "main.rs"
             && !p.contains("/bin/"))
+            || is_fixture,
+        unwrap_in_lib: (p.contains("crates/sim/src/") && ROBUSTNESS_FILES.contains(&file))
             || is_fixture,
     }
 }
@@ -490,8 +515,9 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
         || class.determinism
         || class.btree_hot_path
         || class.println_in_lib
+        || class.unwrap_in_lib
     {
-        test_region_lines(src, &blanked)
+        test_region_lines(&blanked)
     } else {
         Vec::new()
     };
@@ -511,6 +537,29 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
                         format!(
                             "`{needle})` in protocol handler code; a malformed peer \
                              message must not panic a node — guard and return instead"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    if class.unwrap_in_lib {
+        for (i, line) in blanked.lines().enumerate() {
+            let n = i + 1;
+            if in_tests(n) {
+                continue;
+            }
+            for needle in [".unwrap(", ".expect("] {
+                if line.contains(needle) {
+                    push(
+                        Rule::UnwrapInLib,
+                        n,
+                        format!(
+                            "`{needle})` in fault/persist/chaos library code; these \
+                             paths run while faults are live, so errors must surface \
+                             as Results or named outcomes, never panics — or waive \
+                             with a justification that untrusted input cannot reach it"
                         ),
                     );
                 }
@@ -804,6 +853,58 @@ mod tests {
         assert!(rules.contains(&Rule::Nondeterminism), "{v:?}");
         assert!(rules.contains(&Rule::BtreeHotPath), "{v:?}");
         assert!(rules.contains(&Rule::PrintlnInLib), "{v:?}");
+        assert!(rules.contains(&Rule::UnwrapInLib), "{v:?}");
+    }
+
+    #[test]
+    fn test_regions_survive_multibyte_comments() {
+        // Regression: an em-dash (3 bytes, blanked to 1 space) before
+        // the test mod used to desynchronize the byte offsets of the
+        // region walk, so everything inside `#[cfg(test)]` got linted.
+        let src = "// prose — with a multi-byte dash\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    \
+                       fn t() { Some(1).unwrap(); }\n\
+                   }\n";
+        assert!(lint_source("crates/sim/src/chaos.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_in_robustness_modules_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        for file in ["faults.rs", "persist.rs", "chaos.rs"] {
+            let v = lint_source(&format!("crates/sim/src/{file}"), src);
+            assert!(
+                v.iter().any(|x| x.rule == Rule::UnwrapInLib),
+                "{file}: {v:?}"
+            );
+        }
+        // Other sim modules, other crates and the sim's integration
+        // tests are outside the rule's scope.
+        assert!(lint_source("crates/sim/src/network.rs", src)
+            .iter()
+            .all(|x| x.rule != Rule::UnwrapInLib));
+        assert!(lint_source("crates/core/src/faults.rs", src)
+            .iter()
+            .all(|x| x.rule != Rule::UnwrapInLib));
+        assert!(lint_source("crates/sim/tests/chaos_prop.rs", src)
+            .iter()
+            .all(|x| x.rule != Rule::UnwrapInLib));
+    }
+
+    #[test]
+    fn unwrap_in_lib_spares_tests_and_honors_waivers() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(lint_source("crates/sim/src/chaos.rs", in_test).is_empty());
+        let waived = "// lint: allow(unwrap-in-lib) — in-memory value tree, cannot fail.\n\
+                      fn f() -> String { serde_json::to_string(&1).expect(\"infallible\") }\n";
+        assert!(lint_source("crates/sim/src/persist.rs", waived)
+            .iter()
+            .all(|x| x.rule != Rule::UnwrapInLib));
+        let expect = "fn f(x: Option<u32>) -> u32 { x.expect(\"boom\") }\n";
+        let v = lint_source("crates/sim/src/faults.rs", expect);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnwrapInLib);
     }
 
     #[test]
